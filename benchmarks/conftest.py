@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints the
+measured rows next to the paper's reported values (so EXPERIMENTS.md can be
+refreshed from the output), and records its wall-clock time via
+pytest-benchmark.  Training-backed benchmarks run exactly once per session
+(``rounds=1``) — they are experiments, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,18 @@
+"""Benchmark E8 — ablation: the Ccode,max efficiency bound of Eq. 2."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_ccode_max(benchmark, once):
+    points = once(benchmark, ablations.sweep_ccode_max)
+    print()
+    print(ablations.render_ccode_max(points))
+    # The bound always guarantees the ALF block is no more expensive than the
+    # convolution it replaces.
+    for point in points:
+        ratio = ablations.alf_block_cost_ratio(
+            point.in_channels, point.out_channels, point.kernel_size, point.bound)
+        assert ratio <= 1.0 + 1e-9
+    # For 3x3 convolutions the bound sits near 0.9 * Co (Eq. 2 with Ci = Co).
+    three_by_three = [p for p in points if p.kernel_size == 3]
+    assert all(0.8 <= p.bound_fraction <= 0.95 for p in three_by_three)

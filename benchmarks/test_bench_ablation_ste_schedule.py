@@ -1,0 +1,24 @@
+"""Benchmark E9 — ablations: STE bridge and nu_prune schedule (proxy scale)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_ste(benchmark, once):
+    runs = once(benchmark, ablations.run_ste_ablation, scale="ci", epochs=6)
+    print()
+    print(ablations.render_ablation(runs, "STE ablation (Eq. 5)"))
+    assert {r.label for r in runs} == {"STE (paper)", "no STE (naive gradient)"}
+    assert all(0.0 <= r.accuracy <= 1.0 for r in runs)
+
+
+def test_bench_ablation_schedule(benchmark, once):
+    runs = once(benchmark, ablations.run_schedule_ablation, scale="ci", epochs=6)
+    print()
+    print(ablations.render_ablation(runs, "nu_prune schedule ablation (Sec. III-B)"))
+    by_label = {r.label: r for r in runs}
+    constant = by_label["constant regularization"]
+    scheduled = by_label["nu_prune schedule (paper)"]
+    # Without the decaying schedule the regularizer keeps pruning.
+    assert constant.remaining_filters <= scheduled.remaining_filters + 0.15
+    curve = ablations.schedule_curve()
+    print(f"nu_prune(0)={curve[0][1]:.3f}, nu_prune(pr_max)={min(v for _, v in curve):.3f}")

@@ -1,0 +1,13 @@
+"""Benchmark E2 — Fig. 2a: expansion-layer configuration sweep (proxy scale)."""
+
+from repro.experiments import config_space
+
+
+def test_bench_fig2a_expansion_config(benchmark, once):
+    results = once(benchmark, config_space.run_fig2a, scale="ci", seeds=(0, 1), epochs=6)
+    print()
+    print(config_space.render_config_results(
+        results, "Fig. 2a — expansion layer configuration [Wexp init | sigma_inter | BN]"))
+    assert len(results) == 6
+    assert all(len(r.accuracies) == 2 for r in results)
+    assert all(0.0 <= r.mean_accuracy <= 1.0 for r in results)

@@ -1,0 +1,14 @@
+"""Benchmark E3 — Fig. 2b: autoencoder init / activation sweep, pruning mask disabled."""
+
+from repro.experiments import config_space
+
+
+def test_bench_fig2b_autoencoder_config(benchmark, once):
+    results = once(benchmark, config_space.run_fig2b, scale="ci", seeds=(0,), epochs=6)
+    print()
+    print(config_space.render_config_results(
+        results, "Fig. 2b — autoencoder configuration [Wae init | sigma_ae] (mask off)"))
+    assert len(results) == 9
+    labels = [r.label for r in results]
+    assert "xavier|tanh" in labels
+    assert all(0.0 <= r.mean_accuracy <= 1.0 for r in results)

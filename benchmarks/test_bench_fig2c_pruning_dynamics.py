@@ -1,0 +1,22 @@
+"""Benchmark E4 — Fig. 2c: pruning dynamics (remaining filters / accuracy vs epochs)."""
+
+from repro.experiments import config_space
+from repro.experiments.paper_values import FIG2C_REMAINING_FILTERS
+
+
+def test_bench_fig2c_pruning_dynamics(benchmark, once):
+    curves = once(benchmark, config_space.run_fig2c, scale="ci", seed=0)
+    print()
+    print(config_space.render_pruning_curves(curves))
+    print("Paper (200-epoch Plain-20/CIFAR-10) remaining filters: "
+          + ", ".join(f"lr={lr},t={t}: {value:.1f}%"
+                      for (lr, t), value in FIG2C_REMAINING_FILTERS.items()))
+    by_label = {c.label: c for c in curves}
+    # Trend 1: a larger clipping threshold prunes at least as aggressively.
+    assert (by_label["lr=1e-3,t=5e-4"].final_remaining_percent
+            <= by_label["lr=1e-3,t=5e-5"].final_remaining_percent + 1e-9)
+    # Trend 2: a slower autoencoder optimizer leaves more filters.
+    assert (by_label["lr=1e-5,t=1e-4"].final_remaining_percent
+            >= by_label["lr=1e-3,t=1e-4"].final_remaining_percent - 1e-9)
+    # Every curve tracks the full training trajectory.
+    assert all(len(c.epochs) == len(c.remaining_filters) for c in curves)

@@ -1,0 +1,32 @@
+"""Benchmark E6 — Fig. 3: per-layer energy breakdown and latency on the Eyeriss model."""
+
+import pytest
+
+from repro.experiments import hardware_breakdown
+from repro.experiments.paper_values import HEADLINE_CLAIMS
+
+
+def test_bench_fig3_plain20(benchmark, once):
+    result = once(benchmark, hardware_breakdown.run, architecture="plain20", batch=16)
+    print()
+    print(result.render())
+    summary = hardware_breakdown.summary_vs_paper(result)
+    print(f"energy reduction: {summary['measured_energy_reduction'] * 100:.1f}% "
+          f"(paper {HEADLINE_CLAIMS['energy_reduction'] * 100:.0f}%), "
+          f"latency reduction: {summary['measured_latency_reduction'] * 100:.1f}% "
+          f"(paper {HEADLINE_CLAIMS['latency_reduction'] * 100:.0f}%)")
+    print(f"layers where ALF is slower than vanilla (anomalies): {result.anomalous_layers()}")
+    assert summary["measured_energy_reduction"] == pytest.approx(
+        HEADLINE_CLAIMS["energy_reduction"], abs=0.10)
+    assert summary["measured_latency_reduction"] == pytest.approx(
+        HEADLINE_CLAIMS["latency_reduction"], abs=0.10)
+
+
+def test_bench_fig3_resnet20(benchmark, once):
+    result = once(benchmark, hardware_breakdown.run, architecture="resnet20", batch=16)
+    print()
+    summary = hardware_breakdown.summary_vs_paper(result)
+    print(f"ResNet-20: energy reduction {summary['measured_energy_reduction'] * 100:.1f}%, "
+          f"latency reduction {summary['measured_latency_reduction'] * 100:.1f}%")
+    assert result.energy_reduction > 0.15
+    assert result.latency_reduction > 0.25

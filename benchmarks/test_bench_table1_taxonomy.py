@@ -1,0 +1,11 @@
+"""Benchmark E1 — Table I: taxonomy of model compression methods."""
+
+from repro.experiments import method_taxonomy
+
+
+def test_bench_table1_taxonomy(benchmark, once):
+    rows = once(benchmark, method_taxonomy.derived_taxonomy)
+    print()
+    print(method_taxonomy.render())
+    assert method_taxonomy.taxonomy_matches_paper()
+    assert len(rows) == 6

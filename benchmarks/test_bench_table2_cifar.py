@@ -1,0 +1,36 @@
+"""Benchmark E5 — Table II: pruned CNNs on CIFAR-10 (conv layers only).
+
+Cost columns (Params / OPs) are exact at 32x32; the accuracy column comes
+from proxy-scale training on the synthetic CIFAR stand-in (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.experiments import cifar_comparison
+from repro.experiments.paper_values import HEADLINE_CLAIMS
+from repro.metrics import pareto_front
+
+
+def test_bench_table2_costs(benchmark, once):
+    """Cost columns only (fast, fully analytical)."""
+    result = once(benchmark, cifar_comparison.run, measure_accuracy=False)
+    print()
+    print(result.render())
+    reductions = cifar_comparison.headline_reductions(result)
+    print(f"ALF vs ResNet-20:  params -{reductions['params_reduction'] * 100:.0f}% "
+          f"(paper -{HEADLINE_CLAIMS['params_reduction'] * 100:.0f}%), "
+          f"ops -{reductions['ops_reduction'] * 100:.0f}% "
+          f"(paper -{HEADLINE_CLAIMS['ops_reduction'] * 100:.0f}%)")
+    assert reductions["params_reduction"] == pytest.approx(0.70, abs=0.08)
+    assert reductions["ops_reduction"] == pytest.approx(0.61, abs=0.10)
+
+
+def test_bench_table2_with_accuracy(benchmark, once):
+    """Full table including proxy-training accuracies (ci scale)."""
+    result = once(benchmark, cifar_comparison.run, scale="ci", measure_accuracy=True)
+    print()
+    print(result.render())
+    # ALF stays on the pareto front of (params, ops, accuracy).
+    front = {r.method for r in pareto_front(result.method_results())}
+    print(f"Pareto front: {sorted(front)}")
+    assert "ALF" in front

@@ -1,0 +1,24 @@
+"""Benchmark E7 — Table III: ImageNet comparison (costs at true 224x224 geometry)."""
+
+import pytest
+
+from repro.experiments import imagenet_comparison
+from repro.metrics import pareto_front
+
+
+def test_bench_table3_imagenet(benchmark, once):
+    result = once(benchmark, imagenet_comparison.run, seed=0)
+    print()
+    print(result.render())
+    factors = imagenet_comparison.relative_ops_factors(result)
+    print("ALF OPs advantage: x%.1f vs SqueezeNet (paper x1.4), "
+          "x%.1f vs GoogLeNet (paper x2.4), x%.1f vs ResNet-18 (paper x3.0)" % (
+              factors["vs_squeezenet"], factors["vs_googlenet"], factors["vs_resnet18"]))
+
+    resnet = result.by_method("ResNet-18")
+    assert resnet.params / 1e6 == pytest.approx(11.83, rel=0.05)
+    assert resnet.ops / 1e6 == pytest.approx(3743, rel=0.05)
+    assert factors["vs_resnet18"] == pytest.approx(3.0, abs=0.7)
+    front = {r.method for r in pareto_front(result.method_results())}
+    print(f"Pareto front: {sorted(front)}")
+    assert "ALF" in front

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Reproduce the CIFAR-10 comparison (Table II) and the Fig. 2c pruning dynamics.
+
+Cost columns are computed at the true 32x32 CIFAR geometry; accuracies come
+from proxy-scale training on the synthetic CIFAR stand-in (see DESIGN.md for
+the substitution rationale).
+
+Run:  python examples/cifar_compression.py [--scale ci|small]
+"""
+
+import argparse
+
+from repro.experiments import cifar_comparison, config_space
+from repro.experiments.paper_values import HEADLINE_CLAIMS
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="ci", choices=["ci", "small"],
+                        help="size of the proxy training runs behind the accuracy column")
+    parser.add_argument("--skip-accuracy", action="store_true",
+                        help="only compute the (exact) Params / OPs columns")
+    args = parser.parse_args()
+
+    print("=" * 72)
+    print("Table II — pruned CNNs on CIFAR-10 (conv layers only)")
+    print("=" * 72)
+    result = cifar_comparison.run(scale=args.scale,
+                                  measure_accuracy=not args.skip_accuracy)
+    print(result.render())
+
+    reductions = cifar_comparison.headline_reductions(result)
+    print(f"\nALF vs ResNet-20: params -{reductions['params_reduction'] * 100:.0f}% "
+          f"(paper -{HEADLINE_CLAIMS['params_reduction'] * 100:.0f}%), "
+          f"OPs -{reductions['ops_reduction'] * 100:.0f}% "
+          f"(paper -{HEADLINE_CLAIMS['ops_reduction'] * 100:.0f}%)")
+
+    print()
+    print("=" * 72)
+    print("Fig. 2c — pruning dynamics (remaining filters / accuracy per variant)")
+    print("=" * 72)
+    curves = config_space.run_fig2c(scale=args.scale)
+    for curve in curves:
+        trajectory = " ".join(f"{r * 100:3.0f}" for r in curve.remaining_filters)
+        print(f"{curve.label:>16}: remaining per epoch [%]: {trajectory}  "
+              f"final acc {curve.final_accuracy * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

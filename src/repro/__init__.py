@@ -1,0 +1,28 @@
+"""Reproduction of "ALF: Autoencoder-based Low-rank Filter-sharing for
+Efficient Convolutional Neural Networks" (Frickenstein et al., DAC 2020).
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy deep-learning framework (autograd, layers, optimizers).
+``repro.core``
+    The ALF method: ALF blocks, two-player trainer, deployment compression.
+``repro.models``
+    CNN architectures used in the paper (Plain-20, ResNet-20/18, ...).
+``repro.data``
+    Synthetic CIFAR-10 / ImageNet stand-ins and data loading.
+``repro.baselines``
+    Compression baselines (magnitude, FPGM, AMC-style RL, LCNN, low-rank).
+``repro.hardware``
+    Analytical Eyeriss/Timeloop-style hardware model (energy / latency).
+``repro.metrics``
+    OPs / parameter counters and compression reporting.
+``repro.experiments``
+    One module per paper table/figure reproducing its rows or series.
+"""
+
+__version__ = "1.0.0"
+
+from . import nn  # noqa: F401
+
+__all__ = ["nn", "__version__"]

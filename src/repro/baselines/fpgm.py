@@ -1,0 +1,48 @@
+"""FPGM: Filter Pruning via Geometric Median (He et al., CVPR 2019).
+
+FPGM removes the filters closest to the geometric median of all filters in
+a layer — the intuition being that such filters are the most "replaceable"
+by the remaining ones.  It is the handcrafted-policy baseline of Tables II
+and III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d
+from .common import FilterPruner
+
+
+def geometric_median(points: np.ndarray, iterations: int = 50, eps: float = 1e-8) -> np.ndarray:
+    """Weiszfeld's algorithm for the geometric median of row vectors."""
+    median = points.mean(axis=0)
+    for _ in range(iterations):
+        distances = np.linalg.norm(points - median, axis=1)
+        distances = np.maximum(distances, eps)
+        weights = 1.0 / distances
+        updated = (points * weights[:, None]).sum(axis=0) / weights.sum()
+        if np.linalg.norm(updated - median) < eps:
+            median = updated
+            break
+        median = updated
+    return median
+
+
+class FPGMPruner(FilterPruner):
+    """Prune filters nearest to the layer's geometric median.
+
+    The returned score is each filter's distance to the geometric median, so
+    the *farthest* (most distinctive) filters are kept.
+    """
+
+    method_name = "FPGM"
+    policy = "Handcrafted"
+
+    def __init__(self, iterations: int = 50):
+        self.iterations = iterations
+
+    def score_filters(self, name: str, conv: Conv2d) -> np.ndarray:
+        filters = conv.weight.data.reshape(conv.out_channels, -1)
+        median = geometric_median(filters, iterations=self.iterations)
+        return np.linalg.norm(filters - median, axis=1)

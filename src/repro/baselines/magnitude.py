@@ -1,0 +1,31 @@
+"""Magnitude-based filter pruning (rule-based baseline, Han et al. style).
+
+Han et al. [3] rank weights by magnitude; applied at filter granularity
+this becomes the simplest structured baseline: a filter's saliency is the
+L1 norm of its weights, and the lowest-norm filters are removed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d
+from .common import FilterPruner
+
+
+class MagnitudePruner(FilterPruner):
+    """Rank filters by the L1 (or L2) norm of their weights."""
+
+    method_name = "Magnitude"
+    policy = "Handcrafted"
+
+    def __init__(self, norm: str = "l1"):
+        if norm not in ("l1", "l2"):
+            raise ValueError("norm must be 'l1' or 'l2'")
+        self.norm = norm
+
+    def score_filters(self, name: str, conv: Conv2d) -> np.ndarray:
+        weights = conv.weight.data.reshape(conv.out_channels, -1)
+        if self.norm == "l1":
+            return np.abs(weights).sum(axis=1)
+        return np.sqrt((weights ** 2).sum(axis=1))

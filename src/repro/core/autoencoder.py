@@ -1,0 +1,133 @@
+"""Sparse weight autoencoder used inside every ALF block.
+
+The autoencoder sees the layer's filter bank ``W`` flattened to a matrix of
+shape ``(Ci*K*K, Co)`` — one column per output filter.  The encoder mixes
+filters along the output-channel dimension (``Wenc`` of shape ``(Co, Co)``),
+the pruning mask gates the resulting code columns, and the decoder
+reconstructs the original filters (``Wdec`` of shape ``(Co, Co)``).  During
+training the autoencoder is optimized with its own SGD instance on
+``Lae = MSE(W, Wrec) + nu_prune * Lprune`` (Sec. III-A/III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn import init as init_mod
+from ..nn.loss import mse_loss
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+from .mask import PruningMask
+
+
+@dataclass
+class AutoencoderOutput:
+    """Forward-pass products of the weight autoencoder."""
+
+    code: Tensor          # Wcode, shape (Ci*K*K, Co), masked and activated
+    reconstruction: Tensor  # Wrec, shape (Ci*K*K, Co)
+    pre_code: Tensor      # W~code before mask/activation (diagnostics)
+
+
+class WeightAutoencoder(Module):
+    """Encoder / pruning-mask / decoder operating on a flattened filter bank."""
+
+    def __init__(self, num_filters: int, threshold: float = 1e-4,
+                 sigma_ae: str = "tanh", weight_init: str = "xavier",
+                 mask_init: float = 1.0, enable_mask: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_filters = num_filters
+        self.sigma_ae_name = sigma_ae
+        self._sigma_ae = F.get_activation(sigma_ae)
+        initializer = init_mod.get_initializer(weight_init)
+        self.encoder = Parameter(initializer((num_filters, num_filters), rng=rng))
+        self.decoder = Parameter(initializer((num_filters, num_filters), rng=rng))
+        self.pruning_mask = PruningMask(
+            num_filters, threshold=threshold, init_value=mask_init, enabled=enable_mask
+        )
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
+    def encode(self, weight_matrix: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(Wcode, W~code)`` for a ``(Ci*K*K, Co)`` weight matrix."""
+        pre_code = weight_matrix @ self.encoder
+        mask = self.pruning_mask()
+        code = self._sigma_ae(pre_code * mask.reshape(1, -1))
+        return code, pre_code
+
+    def decode(self, code: Tensor) -> Tensor:
+        """Reconstruct the filter bank from the code."""
+        return self._sigma_ae(code @ self.decoder)
+
+    def forward(self, weight_matrix: Tensor) -> AutoencoderOutput:
+        code, pre_code = self.encode(weight_matrix)
+        reconstruction = self.decode(code)
+        return AutoencoderOutput(code=code, reconstruction=reconstruction, pre_code=pre_code)
+
+    # ------------------------------------------------------------------ #
+    # Losses
+    # ------------------------------------------------------------------ #
+    def reconstruction_loss(self, weight_matrix: Tensor,
+                            output: Optional[AutoencoderOutput] = None) -> Tensor:
+        """``Lrec = MSE(W, Wrec)``; recomputes the forward pass if needed."""
+        if output is None:
+            output = self.forward(weight_matrix)
+        return mse_loss(output.reconstruction, weight_matrix.detach())
+
+    def sparsity_loss(self) -> Tensor:
+        """``Lprune`` delegated to the pruning mask."""
+        return self.pruning_mask.sparsity_loss()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def zero_fraction(self) -> float:
+        return self.pruning_mask.zero_fraction()
+
+    def keep_indicator(self) -> np.ndarray:
+        return self.pruning_mask.keep_indicator()
+
+    def num_active_filters(self) -> int:
+        return self.pruning_mask.num_active()
+
+    def autoencoder_parameters(self):
+        """Parameters updated by the dedicated autoencoder optimizer."""
+        return [self.encoder, self.decoder, self.pruning_mask.mask]
+
+    def compute_code(self, weight: np.ndarray) -> np.ndarray:
+        """Numpy-only code computation used on the task path (behind an STE).
+
+        ``weight`` has shape ``(Co, Ci, K, K)``; the result has the same
+        shape but with pruned filters zeroed and the autoencoder activation
+        applied.
+        """
+        co = weight.shape[0]
+        if co != self.num_filters:
+            raise ValueError(
+                f"weight has {co} filters but autoencoder was built for {self.num_filters}"
+            )
+        weight_matrix = weight.reshape(co, -1).T          # (Ci*K*K, Co)
+        pre_code = weight_matrix @ self.encoder.data
+        mask = self.pruning_mask().data.reshape(1, -1)
+        code = self._activation_np(pre_code * mask)
+        return code.T.reshape(weight.shape)
+
+    def _activation_np(self, values: np.ndarray) -> np.ndarray:
+        name = self.sigma_ae_name.lower() if self.sigma_ae_name else "none"
+        if name == "tanh":
+            return np.tanh(values)
+        if name == "sigmoid":
+            return 1.0 / (1.0 + np.exp(-values))
+        if name == "relu":
+            return np.maximum(values, 0.0)
+        return values
+
+    def __repr__(self) -> str:
+        return (f"WeightAutoencoder(filters={self.num_filters}, sigma_ae={self.sigma_ae_name}, "
+                f"active={self.num_active_filters()})")

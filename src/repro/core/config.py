@@ -1,0 +1,90 @@
+"""Configuration for ALF blocks and the two-player training scheme.
+
+Defaults follow Sec. IV of the paper: the Xavier initialization is used for
+the expansion layer and the autoencoder weights, ``tanh`` is the
+autoencoder activation, no intermediate activation or batch-norm is
+inserted after the code convolution, the mask threshold is ``t = 1e-4``,
+the autoencoder learning rate is ``1e-3`` and the pruning-sensitivity
+schedule uses ``m = 8`` and ``pr_max = 0.85``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass
+class ALFConfig:
+    """Hyper-parameters of an ALF block and its autoencoder optimizer.
+
+    Attributes
+    ----------
+    threshold:
+        Clipping threshold ``t`` below which mask entries are zeroed.
+    lr_autoencoder:
+        Learning rate of the per-layer autoencoder SGD optimizer.
+    slope:
+        Slope ``m`` of the pruning-sensitivity schedule (Sec. III-B).
+    pr_max:
+        Maximum pruning rate ``pr_max`` of the schedule.
+    sigma_ae:
+        Activation applied inside the autoencoder (``tanh`` in the paper).
+    sigma_inter:
+        Optional activation between the code convolution and the expansion
+        layer (``None`` performed best in Fig. 2a/2b).
+    use_bn_inter:
+        Whether to insert a BatchNorm between code conv and expansion layer.
+    wexp_init / wae_init:
+        Initialization scheme names for the expansion layer and the
+        autoencoder weights (``xavier`` chosen in the paper).
+    mask_init:
+        Initial value of every pruning-mask entry.
+    enable_mask:
+        If false the pruning mask is bypassed entirely (Fig. 2b setup).
+    weight_decay:
+        L2 regularization factor ``nu_wd`` of the task loss (applied to all
+        task parameters except ``W`` and ``Wcode``).
+    momentum:
+        Momentum of the task SGD optimizer.
+    lr_task:
+        Learning rate of the task optimizer.
+    """
+
+    threshold: float = 1e-4
+    lr_autoencoder: float = 1e-3
+    slope: float = 8.0
+    pr_max: float = 0.85
+    sigma_ae: str = "tanh"
+    sigma_inter: Optional[str] = None
+    use_bn_inter: bool = False
+    wexp_init: str = "xavier"
+    wae_init: str = "xavier"
+    mask_init: float = 1.0
+    enable_mask: bool = True
+    weight_decay: float = 1e-4
+    momentum: float = 0.9
+    lr_task: float = 0.1
+    seed: int = 0
+
+    def validate(self) -> "ALFConfig":
+        """Raise ``ValueError`` for out-of-range hyper-parameters."""
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if not 0.0 <= self.pr_max <= 1.0:
+            raise ValueError("pr_max must lie in [0, 1]")
+        if self.slope <= 0:
+            raise ValueError("slope must be positive")
+        if self.lr_autoencoder <= 0 or self.lr_task <= 0:
+            raise ValueError("learning rates must be positive")
+        return self
+
+    def with_overrides(self, **kwargs) -> "ALFConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs).validate()
+
+
+# The configuration chosen by the paper after the design-space exploration
+# (Fig. 2a/2b/2c): xavier everywhere, tanh autoencoder, no sigma_inter,
+# t = 1e-4, lr_ae = 1e-3, m = 8, pr_max = 0.85.
+PAPER_DEFAULT = ALFConfig()

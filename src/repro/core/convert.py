@@ -1,0 +1,85 @@
+"""Convert standard CNNs into ALF form by swapping convolutions for ALF blocks.
+
+The paper applies ALF to the (3x3) convolutional layers of Plain-20,
+ResNet-20 and ResNet-18; 1x1 projection shortcuts and the fully-connected
+classifier are left untouched.  :func:`convert_to_alf` walks an arbitrary
+model built from :mod:`repro.nn` modules and performs that substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Conv2d
+from ..nn.module import Module
+from .alf_block import ALFConv2d
+from .config import ALFConfig
+
+
+def default_convert_predicate(name: str, conv: Conv2d) -> bool:
+    """Replace every convolution except point-wise (1x1) projections."""
+    return conv.kernel_size[0] > 1 and conv.kernel_size[1] > 1
+
+
+def convert_to_alf(model: Module, config: Optional[ALFConfig] = None,
+                   predicate: Optional[Callable[[str, Conv2d], bool]] = None,
+                   copy_weights: bool = True,
+                   rng: Optional[np.random.Generator] = None) -> List[Tuple[str, ALFConv2d]]:
+    """Replace eligible ``Conv2d`` layers of ``model`` with :class:`ALFConv2d` in place.
+
+    Parameters
+    ----------
+    model:
+        Any module tree built from ``repro.nn`` components.
+    config:
+        ALF hyper-parameters shared by all created blocks.
+    predicate:
+        ``(qualified_name, conv) -> bool`` deciding which convolutions are
+        converted.  Defaults to "every conv with a spatial kernel".
+    copy_weights:
+        If true, the new block's ``W`` is initialized from the existing
+        convolution weights (useful when starting from a trained model,
+        although the paper trains from scratch).
+
+    Returns
+    -------
+    list of (qualified name, block) pairs, in traversal order.
+    """
+    config = (config or ALFConfig()).validate()
+    predicate = predicate or default_convert_predicate
+    rng = rng or np.random.default_rng(config.seed)
+    converted: List[Tuple[str, ALFConv2d]] = []
+
+    for parent_name, parent in model.named_modules():
+        for child_name, child in list(parent._modules.items()):
+            if not isinstance(child, Conv2d):
+                continue
+            qualified = f"{parent_name}.{child_name}" if parent_name else child_name
+            if not predicate(qualified, child):
+                continue
+            if child.kernel_size[0] != child.kernel_size[1]:
+                raise ValueError(f"ALF blocks require square kernels, got {child.kernel_size}")
+            block = ALFConv2d(
+                child.in_channels, child.out_channels, child.kernel_size[0],
+                stride=child.stride[0], padding=child.padding[0],
+                bias=child.bias is not None, config=config, rng=rng, name=qualified,
+            )
+            if copy_weights:
+                block.weight.data = child.weight.data.copy()
+                if child.bias is not None and block.bias is not None:
+                    block.bias.data = child.bias.data.copy()
+            setattr(parent, child_name, block)
+            converted.append((qualified, block))
+    return converted
+
+
+def alf_blocks(model: Module) -> List[ALFConv2d]:
+    """All ALF blocks of a model, in traversal order."""
+    return [m for m in model.modules() if isinstance(m, ALFConv2d)]
+
+
+def named_alf_blocks(model: Module) -> List[Tuple[str, ALFConv2d]]:
+    """(name, block) pairs for all ALF blocks of a model."""
+    return [(name, m) for name, m in model.named_modules() if isinstance(m, ALFConv2d)]

@@ -1,0 +1,73 @@
+"""Trainable pruning mask with threshold clipping and STE gradients.
+
+The mask ``M`` (one scalar per output filter of the code) is driven towards
+zero by an L1 penalty; entries whose magnitude falls below the threshold
+``t`` are clipped to exactly zero in the forward pass but keep receiving
+gradients through a straight-through estimator, which lets a filter recover
+if the task later needs it (Sec. III-A of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+from ..nn.ste import binary_indicator, clip_mask
+from ..nn.tensor import Tensor
+
+
+class PruningMask(Module):
+    """Per-filter gate ``Mprune = 1{|m| > t} * m`` with trainable ``m``."""
+
+    def __init__(self, num_filters: int, threshold: float = 1e-4,
+                 init_value: float = 1.0, enabled: bool = True):
+        super().__init__()
+        if num_filters <= 0:
+            raise ValueError("num_filters must be positive")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.num_filters = num_filters
+        self.threshold = threshold
+        self.enabled = enabled
+        self.mask = Parameter(np.full(num_filters, float(init_value)))
+
+    def forward(self) -> Tensor:
+        """Return the clipped mask ``Mprune`` as a length-``Co`` tensor."""
+        if not self.enabled:
+            return Tensor(np.ones(self.num_filters))
+        return clip_mask(self.mask, self.threshold)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    def keep_indicator(self) -> np.ndarray:
+        """Boolean array: True for filters currently kept (non-zero)."""
+        if not self.enabled:
+            return np.ones(self.num_filters, dtype=bool)
+        return binary_indicator(self.mask, self.threshold)
+
+    def num_active(self) -> int:
+        """Number of filters surviving the clip."""
+        return int(self.keep_indicator().sum())
+
+    def num_pruned(self) -> int:
+        return self.num_filters - self.num_active()
+
+    def zero_fraction(self) -> float:
+        """theta = Ccode,zero / Ccode used by the pruning schedule."""
+        return self.num_pruned() / self.num_filters
+
+    def sparsity_loss(self) -> Tensor:
+        """``Lprune = 1/Co * sum_i |m_i|`` over the *unclipped* mask."""
+        return self.mask.abs().sum() * (1.0 / self.num_filters)
+
+    def reset(self, value: Optional[float] = None) -> None:
+        """Reset all mask entries (e.g. before a fresh training run)."""
+        self.mask.data = np.full(self.num_filters, float(value if value is not None else 1.0))
+        self.mask.zero_grad()
+
+    def __repr__(self) -> str:
+        return (f"PruningMask(filters={self.num_filters}, threshold={self.threshold}, "
+                f"active={self.num_active()})")

@@ -1,0 +1,57 @@
+"""Pruning-sensitivity schedule for the mask regularizer.
+
+The autoencoder loss is ``Lae = Lrec + nu_prune * Lprune`` where the scaling
+factor ``nu_prune = max(0, 1 - exp(m * (theta - pr_max)))`` decays as the
+zero-fraction ``theta`` of the code approaches the maximum pruning rate
+``pr_max`` (Sec. III-B).  This mirrors the layer "pruning sensitivity" idea
+of Han et al. and slows pruning down towards the end of training.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+def nu_prune(theta: float, slope: float = 8.0, pr_max: float = 0.85) -> float:
+    """Scaling factor of the mask regularizer.
+
+    Parameters
+    ----------
+    theta:
+        Current zero-fraction of the code (``Ccode,zero / Ccode``).
+    slope:
+        Sensitivity slope ``m`` in ``[1, 10]``.
+    pr_max:
+        Maximum pruning rate in ``[0, 1]``.
+
+    Returns
+    -------
+    float
+        A value in ``[0, 1)`` that is close to 1 when nothing is pruned and
+        reaches 0 once ``theta >= pr_max``.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"theta must lie in [0, 1], got {theta}")
+    return max(0.0, 1.0 - math.exp(slope * (theta - pr_max)))
+
+
+@dataclass
+class PruningSchedule:
+    """Stateful wrapper around :func:`nu_prune` that records its trajectory."""
+
+    slope: float = 8.0
+    pr_max: float = 0.85
+
+    def __post_init__(self):
+        self.history: List[float] = []
+
+    def __call__(self, theta: float) -> float:
+        value = nu_prune(theta, slope=self.slope, pr_max=self.pr_max)
+        self.history.append(value)
+        return value
+
+    def saturated(self, theta: float) -> bool:
+        """True once the target pruning rate has been reached."""
+        return theta >= self.pr_max

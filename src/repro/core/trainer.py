@@ -1,0 +1,231 @@
+"""Two-player training scheme for ALF, plus a plain classifier trainer.
+
+The :class:`ALFTrainer` realizes the training procedure of Sec. III-B:
+
+* the **task optimizer** (SGD with momentum) updates the CNN weights ``W``,
+  the expansion layers and all ordinary parameters, minimizing
+  ``Ltask = LCE + nu_wd * Lreg`` (no regularization on the ALF filter
+  banks);
+* one **autoencoder optimizer** per ALF block (plain SGD) updates
+  ``Wenc, Wdec, M`` minimizing ``Lae = Lrec + nu_prune * Lprune``.
+
+Both run in every training step; the autoencoder sees the *current* filter
+bank as its input, the task loss sees the *current* code through the STE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.loss import accuracy, cross_entropy, l2_regularization
+from ..nn.module import Module, Parameter
+from ..nn.optim import SGD, LRScheduler
+from ..nn.tensor import Tensor
+from .alf_block import ALFConv2d
+from .config import ALFConfig
+from .convert import alf_blocks
+
+
+@dataclass
+class EpochStats:
+    """Metrics recorded for one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    val_accuracy: Optional[float] = None
+    remaining_filters: float = 1.0
+    per_block_active: Dict[str, int] = field(default_factory=dict)
+    nu_prune_mean: float = 0.0
+
+
+@dataclass
+class TrainingHistory:
+    """Sequence of per-epoch statistics produced by a trainer."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    def series(self, attribute: str) -> List[float]:
+        return [getattr(e, attribute) for e in self.epochs]
+
+    @property
+    def final(self) -> EpochStats:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1]
+
+    def best_val_accuracy(self) -> float:
+        values = [e.val_accuracy for e in self.epochs if e.val_accuracy is not None]
+        return max(values) if values else float("nan")
+
+
+class ClassifierTrainer:
+    """Plain SGD training of an (uncompressed or baseline) classifier."""
+
+    def __init__(self, model: Module, lr: float = 0.1, momentum: float = 0.9,
+                 weight_decay: float = 1e-4,
+                 scheduler_factory=None):
+        self.model = model
+        self.optimizer = SGD(model.parameters(), lr=lr, momentum=momentum,
+                             weight_decay=weight_decay)
+        self.scheduler: Optional[LRScheduler] = (
+            scheduler_factory(self.optimizer) if scheduler_factory else None
+        )
+        self.history = TrainingHistory()
+
+    def train_batch(self, images: np.ndarray, labels: np.ndarray) -> Tuple[float, float]:
+        self.model.train()
+        logits = self.model(Tensor(images))
+        loss = cross_entropy(logits, labels)
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.data), accuracy(logits, labels)
+
+    def evaluate(self, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
+        self.model.eval()
+        correct = 0
+        total = 0
+        for images, labels in loader:
+            logits = self.model(Tensor(images))
+            correct += int((np.argmax(logits.data, axis=1) == labels).sum())
+            total += len(labels)
+        return correct / max(1, total)
+
+    def fit(self, train_loader, val_loader=None, epochs: int = 1) -> TrainingHistory:
+        for epoch in range(1, epochs + 1):
+            losses: List[float] = []
+            accs: List[float] = []
+            for images, labels in train_loader:
+                loss, acc = self.train_batch(images, labels)
+                losses.append(loss)
+                accs.append(acc)
+            val_acc = self.evaluate(val_loader) if val_loader is not None else None
+            self.history.append(EpochStats(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                train_accuracy=float(np.mean(accs)) if accs else float("nan"),
+                val_accuracy=val_acc,
+            ))
+            if self.scheduler is not None:
+                self.scheduler.step()
+        return self.history
+
+
+class ALFTrainer:
+    """Two-player trainer: task optimizer + one autoencoder optimizer per block."""
+
+    def __init__(self, model: Module, config: Optional[ALFConfig] = None):
+        self.model = model
+        self.config = (config or ALFConfig()).validate()
+        self.blocks: List[ALFConv2d] = alf_blocks(model)
+        if not self.blocks:
+            raise ValueError("model contains no ALF blocks; call convert_to_alf first")
+
+        ae_param_ids = {
+            id(p) for block in self.blocks for p in block.autoencoder_parameters()
+        }
+        self.task_params: List[Parameter] = [
+            p for p in model.parameters() if id(p) not in ae_param_ids
+        ]
+        alf_weight_ids = {id(block.weight) for block in self.blocks}
+        self.regularized_params: List[Parameter] = [
+            p for p in self.task_params if id(p) not in alf_weight_ids
+        ]
+
+        self.task_optimizer = SGD(
+            self.task_params, lr=self.config.lr_task, momentum=self.config.momentum,
+            weight_decay=0.0,
+        )
+        self.ae_optimizers: List[SGD] = [
+            SGD(block.autoencoder_parameters(), lr=self.config.lr_autoencoder)
+            for block in self.blocks
+        ]
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ #
+    # Single optimization step of the two-player game
+    # ------------------------------------------------------------------ #
+    def train_batch(self, images: np.ndarray, labels: np.ndarray) -> Tuple[float, float, float]:
+        """One task step followed by one autoencoder step per block.
+
+        Returns ``(task_loss, batch_accuracy, mean_nu_prune)``.
+        """
+        self.model.train()
+
+        # --- Player 1: task optimizer ---------------------------------- #
+        logits = self.model(Tensor(images))
+        task_loss = cross_entropy(logits, labels)
+        if self.config.weight_decay > 0 and self.regularized_params:
+            task_loss = task_loss + l2_regularization(self.regularized_params) * self.config.weight_decay
+        self.task_optimizer.zero_grad()
+        task_loss.backward()
+        self.task_optimizer.step()
+
+        # --- Player 2: autoencoder optimizers -------------------------- #
+        scales: List[float] = []
+        for block, optimizer in zip(self.blocks, self.ae_optimizers):
+            ae_loss, scale = block.autoencoder_loss()
+            optimizer.zero_grad()
+            ae_loss.backward()
+            optimizer.step()
+            scales.append(scale)
+
+        return float(task_loss.data), accuracy(logits, labels), float(np.mean(scales))
+
+    # ------------------------------------------------------------------ #
+    # Epoch-level API
+    # ------------------------------------------------------------------ #
+    def evaluate(self, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
+        self.model.eval()
+        correct = 0
+        total = 0
+        for images, labels in loader:
+            logits = self.model(Tensor(images))
+            correct += int((np.argmax(logits.data, axis=1) == labels).sum())
+            total += len(labels)
+        return correct / max(1, total)
+
+    def remaining_filter_fraction(self) -> float:
+        """Fraction of code filters still active, across all ALF blocks."""
+        active = sum(block.active_filters() for block in self.blocks)
+        total = sum(block.out_channels for block in self.blocks)
+        return active / max(1, total)
+
+    def per_block_active(self) -> Dict[str, int]:
+        return {block.block_name: block.active_filters() for block in self.blocks}
+
+    def fit(self, train_loader, val_loader=None, epochs: int = 1,
+            lr_schedule: Optional[Sequence[float]] = None) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``train_loader``.
+
+        ``lr_schedule`` optionally gives the task learning rate per epoch.
+        """
+        for epoch in range(1, epochs + 1):
+            if lr_schedule is not None:
+                self.task_optimizer.set_lr(lr_schedule[min(epoch - 1, len(lr_schedule) - 1)])
+            losses: List[float] = []
+            accs: List[float] = []
+            scales: List[float] = []
+            for images, labels in train_loader:
+                loss, acc, scale = self.train_batch(images, labels)
+                losses.append(loss)
+                accs.append(acc)
+                scales.append(scale)
+            val_acc = self.evaluate(val_loader) if val_loader is not None else None
+            self.history.append(EpochStats(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                train_accuracy=float(np.mean(accs)) if accs else float("nan"),
+                val_accuracy=val_acc,
+                remaining_filters=self.remaining_filter_fraction(),
+                per_block_active=self.per_block_active(),
+                nu_prune_mean=float(np.mean(scales)) if scales else 0.0,
+            ))
+        return self.history

@@ -1,0 +1,34 @@
+"""``repro.data`` — synthetic datasets and loading utilities."""
+
+from .augment import (
+    compose,
+    gaussian_noise,
+    random_crop,
+    random_horizontal_flip,
+    standard_cifar_augmentation,
+)
+from .cifar import (
+    CIFAR10_IMAGE_SHAPE,
+    CIFAR10_NUM_CLASSES,
+    CIFAR10_TEST_SIZE,
+    CIFAR10_TRAIN_SIZE,
+    synthetic_cifar10,
+)
+from .imagenet import (
+    IMAGENET_IMAGE_SHAPE,
+    IMAGENET_NUM_CLASSES,
+    IMAGENET_TRAIN_SIZE,
+    IMAGENET_VAL_SIZE,
+    synthetic_imagenet,
+)
+from .loader import DataLoader
+from .synthetic import SyntheticImageDataset, make_synthetic_dataset
+
+__all__ = [
+    "SyntheticImageDataset", "make_synthetic_dataset", "DataLoader",
+    "synthetic_cifar10", "synthetic_imagenet",
+    "CIFAR10_IMAGE_SHAPE", "CIFAR10_NUM_CLASSES", "CIFAR10_TRAIN_SIZE", "CIFAR10_TEST_SIZE",
+    "IMAGENET_IMAGE_SHAPE", "IMAGENET_NUM_CLASSES", "IMAGENET_TRAIN_SIZE", "IMAGENET_VAL_SIZE",
+    "random_horizontal_flip", "random_crop", "gaussian_noise", "compose",
+    "standard_cifar_augmentation",
+]

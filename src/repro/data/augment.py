@@ -1,0 +1,56 @@
+"""Lightweight data augmentation matching the standard CIFAR recipe.
+
+The CIFAR baselines in the paper use random horizontal flips and padded
+random crops; both are provided here as pure numpy transforms that plug
+into :class:`repro.data.DataLoader`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def random_horizontal_flip(images: np.ndarray, rng: np.random.Generator,
+                           probability: float = 0.5) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    flipped = images.copy()
+    flips = rng.random(images.shape[0]) < probability
+    flipped[flips] = flipped[flips, :, :, ::-1]
+    return flipped
+
+
+def random_crop(images: np.ndarray, rng: np.random.Generator, padding: int = 2) -> np.ndarray:
+    """Pad spatially then crop back to the original size at a random offset."""
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(images)
+    offsets_h = rng.integers(0, 2 * padding + 1, size=n)
+    offsets_w = rng.integers(0, 2 * padding + 1, size=n)
+    for index in range(n):
+        oh, ow = offsets_h[index], offsets_w[index]
+        out[index] = padded[index, :, oh:oh + h, ow:ow + w]
+    return out
+
+
+def gaussian_noise(images: np.ndarray, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Additive Gaussian noise."""
+    return images + rng.normal(0.0, std, size=images.shape)
+
+
+def compose(*transforms: Callable) -> Callable:
+    """Chain several augmentation functions into one loader-compatible callable."""
+    def apply(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in transforms:
+            images = transform(images, rng)
+        return images
+    return apply
+
+
+def standard_cifar_augmentation(padding: int = 2) -> Callable:
+    """Random crop + horizontal flip, the recipe used by the CIFAR baselines."""
+    return compose(
+        lambda images, rng: random_crop(images, rng, padding=padding),
+        random_horizontal_flip,
+    )

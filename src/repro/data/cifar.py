@@ -1,0 +1,47 @@
+"""Synthetic CIFAR-10 stand-in.
+
+The real CIFAR-10 (50k train / 10k test, 32x32x3, 10 classes) cannot be
+downloaded in this offline environment, so :func:`synthetic_cifar10`
+produces a class-structured synthetic dataset with exactly the same tensor
+geometry and label cardinality.  The OPs / parameter numbers of Table II
+depend only on this geometry and therefore match the paper exactly; the
+accuracy column is reproduced in *shape* (relative ordering and drops).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .synthetic import SyntheticImageDataset, make_synthetic_dataset
+
+CIFAR10_IMAGE_SHAPE: Tuple[int, int, int] = (3, 32, 32)
+CIFAR10_NUM_CLASSES = 10
+CIFAR10_TRAIN_SIZE = 50_000
+CIFAR10_TEST_SIZE = 10_000
+
+
+def synthetic_cifar10(train_size: int = 2_000, test_size: int = 500,
+                      image_shape: Tuple[int, int, int] = CIFAR10_IMAGE_SHAPE,
+                      num_classes: int = CIFAR10_NUM_CLASSES,
+                      seed: int = 0) -> Tuple[SyntheticImageDataset, SyntheticImageDataset]:
+    """Return ``(train, test)`` synthetic CIFAR-10-like datasets.
+
+    The default sizes are intentionally smaller than the real dataset so
+    that pure-numpy training remains tractable; pass
+    ``train_size=CIFAR10_TRAIN_SIZE`` to generate the full-size equivalent.
+    Train and test share the same class prototypes (same generator seed) but
+    contain disjoint samples.
+    """
+    total = make_synthetic_dataset(
+        num_samples=train_size + test_size, num_classes=num_classes,
+        image_shape=image_shape, seed=seed, name="synthetic-cifar10",
+    )
+    train = SyntheticImageDataset(
+        images=total.images[:train_size], labels=total.labels[:train_size],
+        num_classes=num_classes, name="synthetic-cifar10-train",
+    )
+    test = SyntheticImageDataset(
+        images=total.images[train_size:], labels=total.labels[train_size:],
+        num_classes=num_classes, name="synthetic-cifar10-test",
+    )
+    return train, test

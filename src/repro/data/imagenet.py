@@ -1,0 +1,46 @@
+"""Synthetic ImageNet stand-in.
+
+ImageNet (1.28M training images, 1000 classes, 224x224 crops) is far beyond
+what pure-numpy training can digest and is unavailable offline, so the
+experiments that need ImageNet *accuracy* use a reduced synthetic
+equivalent (fewer classes / smaller resolution by default) while the
+experiments that need ImageNet *geometry* (the Params / OPs columns of
+Table III) compute those analytically at the true 224x224 resolution via
+``repro.metrics``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .synthetic import SyntheticImageDataset, make_synthetic_dataset
+
+IMAGENET_IMAGE_SHAPE: Tuple[int, int, int] = (3, 224, 224)
+IMAGENET_NUM_CLASSES = 1000
+IMAGENET_TRAIN_SIZE = 1_281_167
+IMAGENET_VAL_SIZE = 50_000
+
+
+def synthetic_imagenet(train_size: int = 1_000, val_size: int = 200,
+                       image_shape: Tuple[int, int, int] = (3, 64, 64),
+                       num_classes: int = 20,
+                       seed: int = 1) -> Tuple[SyntheticImageDataset, SyntheticImageDataset]:
+    """Return ``(train, val)`` reduced synthetic ImageNet-like datasets.
+
+    Defaults are deliberately small (20 classes at 64x64) so integration
+    tests finish quickly; pass ``image_shape=IMAGENET_IMAGE_SHAPE`` and
+    ``num_classes=IMAGENET_NUM_CLASSES`` for a full-geometry dataset.
+    """
+    total = make_synthetic_dataset(
+        num_samples=train_size + val_size, num_classes=num_classes,
+        image_shape=image_shape, seed=seed, name="synthetic-imagenet",
+    )
+    train = SyntheticImageDataset(
+        images=total.images[:train_size], labels=total.labels[:train_size],
+        num_classes=num_classes, name="synthetic-imagenet-train",
+    )
+    val = SyntheticImageDataset(
+        images=total.images[train_size:], labels=total.labels[train_size:],
+        num_classes=num_classes, name="synthetic-imagenet-val",
+    )
+    return train, val

@@ -1,0 +1,55 @@
+"""Minibatch loading with optional shuffling and augmentation."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .synthetic import SyntheticImageDataset
+
+
+class DataLoader:
+    """Iterate a :class:`SyntheticImageDataset` in minibatches.
+
+    Each iteration over the loader yields ``(images, labels)`` numpy pairs.
+    Shuffling is re-drawn on every epoch from the loader's own RNG so runs
+    are reproducible given the seed.
+    """
+
+    def __init__(self, dataset: SyntheticImageDataset, batch_size: int = 32,
+                 shuffle: bool = False, drop_last: bool = False,
+                 augment: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
+                 seed: int = 0):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.augment = augment
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            images = self.dataset.images[batch]
+            labels = self.dataset.labels[batch]
+            if self.augment is not None:
+                images = self.augment(images, self._rng)
+            yield images, labels
+
+    def full_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The entire dataset as a single batch (useful for evaluation)."""
+        return self.dataset.images, self.dataset.labels

@@ -1,0 +1,28 @@
+"""``repro.experiments`` — one module per paper table / figure.
+
+* :mod:`~repro.experiments.method_taxonomy` — Table I
+* :mod:`~repro.experiments.config_space` — Fig. 2a / 2b / 2c
+* :mod:`~repro.experiments.cifar_comparison` — Table II
+* :mod:`~repro.experiments.hardware_breakdown` — Fig. 3
+* :mod:`~repro.experiments.imagenet_comparison` — Table III
+* :mod:`~repro.experiments.ablations` — Eq. 2 bound, STE and schedule ablations
+* :mod:`~repro.experiments.paper_values` — the paper's reported numbers
+"""
+
+from . import (
+    ablations,
+    cifar_comparison,
+    config_space,
+    hardware_breakdown,
+    imagenet_comparison,
+    method_taxonomy,
+    paper_values,
+    runtime,
+)
+from .runtime import SCALES, ExperimentScale, get_scale
+
+__all__ = [
+    "method_taxonomy", "config_space", "cifar_comparison", "hardware_breakdown",
+    "imagenet_comparison", "ablations", "paper_values", "runtime",
+    "ExperimentScale", "SCALES", "get_scale",
+]

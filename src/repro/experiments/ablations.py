@@ -1,0 +1,157 @@
+"""Experiments E8/E9 — ablations on design choices called out in DESIGN.md.
+
+* **E8 — Ccode,max bound (Eq. 2)**: sweep layer geometries and verify when
+  an ALF block (code conv + expansion) is cheaper than the standard
+  convolution it replaces.
+* **E9 — STE and pruning-sensitivity schedule**: micro training runs with
+  the straight-through estimator replaced by the raw (mask-blocked)
+  gradient, and with the nu_prune schedule disabled, to quantify why the
+  paper includes both mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import ALFConfig, ALFTrainer, ccode_max, convert_to_alf
+from ..core.schedule import nu_prune
+from ..metrics.tables import render_table
+from ..nn.utils import seed_everything
+from .runtime import ExperimentScale, get_scale
+
+
+# --------------------------------------------------------------------------- #
+# E8 — efficiency bound of Eq. 2
+# --------------------------------------------------------------------------- #
+@dataclass
+class CcodeMaxPoint:
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    bound: int
+    bound_fraction: float      # bound / out_channels
+
+
+def sweep_ccode_max(channel_counts: Sequence[int] = (16, 32, 64, 128, 256, 512),
+                    kernel_sizes: Sequence[int] = (1, 3, 5, 7)) -> List[CcodeMaxPoint]:
+    """Evaluate Eq. 2 over a grid of (Ci = Co, K) configurations."""
+    points: List[CcodeMaxPoint] = []
+    for channels in channel_counts:
+        for kernel in kernel_sizes:
+            bound = ccode_max(channels, channels, kernel)
+            points.append(CcodeMaxPoint(
+                in_channels=channels, out_channels=channels, kernel_size=kernel,
+                bound=bound, bound_fraction=bound / channels,
+            ))
+    return points
+
+
+def alf_block_cost_ratio(in_channels: int, out_channels: int, kernel_size: int,
+                         code_channels: int) -> float:
+    """(ALF block MACs) / (standard conv MACs); < 1 means the block is cheaper."""
+    standard = in_channels * out_channels * kernel_size ** 2
+    block = code_channels * (in_channels * kernel_size ** 2 + out_channels)
+    return block / standard
+
+
+def render_ccode_max(points: Sequence[CcodeMaxPoint]) -> str:
+    headers = ["Ci=Co", "K", "Ccode,max", "Ccode,max / Co"]
+    rows = [[p.in_channels, p.kernel_size, p.bound, f"{p.bound_fraction:.2f}"] for p in points]
+    return render_table(headers, rows, title="Eq. 2 — efficiency bound Ccode,max")
+
+
+# --------------------------------------------------------------------------- #
+# E9 — STE and schedule ablation
+# --------------------------------------------------------------------------- #
+@dataclass
+class AblationRun:
+    label: str
+    accuracy: float
+    remaining_filters: float
+
+
+def _train_variant(preset: ExperimentScale, config: ALFConfig, seed: int,
+                   epochs: Optional[int], disable_ste: bool) -> AblationRun:
+    from ..core.alf_block import ALFConv2d
+    from ..nn import functional as F
+    from ..nn.tensor import Tensor
+
+    rng = seed_everything(seed)
+    model = preset.build_proxy("plain", rng=rng)
+    convert_to_alf(model, config, rng=np.random.default_rng(seed + 1))
+
+    if disable_ste:
+        # Replace the STE bridge by the "naive" path: the conv consumes the
+        # masked code directly, so gradients towards W are blocked wherever
+        # the mask is zero (the failure mode Sec. III-B warns about).
+        def naive_forward(self, x):
+            mask = self.autoencoder.pruning_mask().reshape(-1, 1, 1, 1)
+            wcode = self.weight * mask
+            a_tilde = F.conv2d(x, wcode, stride=self.stride, padding=self.padding)
+            a_tilde = self._sigma_inter(a_tilde)
+            if self.bn_inter is not None:
+                a_tilde = self.bn_inter(a_tilde)
+            return F.conv2d(a_tilde, self.expansion, self.bias, stride=1, padding=0)
+
+        for module in model.modules():
+            if isinstance(module, ALFConv2d):
+                object.__setattr__(module, "forward", naive_forward.__get__(module))
+
+    trainer = ALFTrainer(model, config)
+    train_loader, test_loader = preset.build_loaders(seed=seed)
+    history = trainer.fit(train_loader, test_loader, epochs=epochs or preset.epochs)
+    return AblationRun(
+        label="",
+        accuracy=history.final.val_accuracy,
+        remaining_filters=history.final.remaining_filters,
+    )
+
+
+def run_ste_ablation(scale: str = "ci", seed: int = 0,
+                     epochs: Optional[int] = None) -> List[AblationRun]:
+    """Compare training with the STE bridge against the naive masked gradient."""
+    preset = get_scale(scale)
+    config = ALFConfig(lr_task=0.05, threshold=3e-2, lr_autoencoder=0.1,
+                       pr_max=0.6, mask_init=0.3)
+    with_ste = _train_variant(preset, config, seed, epochs, disable_ste=False)
+    with_ste.label = "STE (paper)"
+    without_ste = _train_variant(preset, config, seed, epochs, disable_ste=True)
+    without_ste.label = "no STE (naive gradient)"
+    return [with_ste, without_ste]
+
+
+def run_schedule_ablation(scale: str = "ci", seed: int = 0,
+                          epochs: Optional[int] = None) -> List[AblationRun]:
+    """Compare the nu_prune schedule against a constant regularization weight.
+
+    Disabling the schedule corresponds to ``pr_max = 1`` with a steep slope:
+    ``nu_prune`` then stays ~1 for every zero-fraction below 1, i.e. the
+    regularizer never backs off and pruning keeps going.
+    """
+    preset = get_scale(scale)
+    scheduled_config = ALFConfig(lr_task=0.05, threshold=3e-2, lr_autoencoder=0.1,
+                                 pr_max=0.6, mask_init=0.3)
+    constant_config = scheduled_config.with_overrides(pr_max=1.0, slope=50.0)
+
+    scheduled = _train_variant(preset, scheduled_config, seed, epochs, disable_ste=False)
+    scheduled.label = "nu_prune schedule (paper)"
+    constant = _train_variant(preset, constant_config, seed, epochs, disable_ste=False)
+    constant.label = "constant regularization"
+    return [scheduled, constant]
+
+
+def schedule_curve(slope: float = 8.0, pr_max: float = 0.85,
+                   points: int = 50) -> List[Tuple[float, float]]:
+    """The nu_prune(theta) curve itself, for plotting / inspection."""
+    thetas = np.linspace(0.0, 1.0, points)
+    return [(float(theta), nu_prune(float(theta), slope=slope, pr_max=pr_max))
+            for theta in thetas]
+
+
+def render_ablation(runs: Sequence[AblationRun], title: str) -> str:
+    headers = ["Variant", "Accuracy [%]", "Remaining filters [%]"]
+    rows = [[r.label, f"{r.accuracy * 100:.1f}", f"{r.remaining_filters * 100:.1f}"] for r in runs]
+    return render_table(headers, rows, title=title)

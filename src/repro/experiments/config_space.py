@@ -1,0 +1,186 @@
+"""Experiments E2-E4 — Fig. 2: design-space exploration of the ALF block.
+
+* Fig. 2a — expansion-layer configuration: initialization (he/xavier) x
+  intermediate activation (none/relu) x intermediate batch-norm (none/bn).
+* Fig. 2b — autoencoder configuration: Wenc/Wdec initialization
+  (rand/he/xavier) x autoencoder activation (tanh/sigmoid/relu), with the
+  pruning mask disabled.
+* Fig. 2c — pruning dynamics over training epochs for different
+  (autoencoder learning rate, clipping threshold) variants: remaining
+  filters [%] and accuracy [%] per epoch.
+
+All three run the same proxy-scale training harness (see
+``repro.experiments.runtime``); repeated seeds give the "bar stretching"
+the paper mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import ALFConfig
+from ..metrics.tables import render_table
+from .runtime import ExperimentScale, get_scale, train_alf_proxy
+
+
+@dataclass
+class ConfigResult:
+    """Accuracy (mean over seeds) for one explored configuration."""
+
+    label: str
+    accuracies: List[float] = field(default_factory=list)
+    remaining_filters: List[float] = field(default_factory=list)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def spread(self) -> float:
+        return float(np.max(self.accuracies) - np.min(self.accuracies)) if len(self.accuracies) > 1 else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 2a — expansion layer configuration
+# --------------------------------------------------------------------------- #
+FIG2A_CONFIGS: List[Tuple[str, str, Optional[str], bool]] = [
+    # (label, wexp_init, sigma_inter, use_bn_inter)
+    ("he|nc|nc", "he", None, False),
+    ("xavier|nc|nc", "xavier", None, False),
+    ("he|relu|nc", "he", "relu", False),
+    ("xavier|relu|nc", "xavier", "relu", False),
+    ("he|relu|bn", "he", "relu", True),
+    ("xavier|relu|bn", "xavier", "relu", True),
+]
+
+
+def run_fig2a(scale: str = "ci", seeds: Sequence[int] = (0, 1),
+              epochs: Optional[int] = None) -> List[ConfigResult]:
+    """Sweep the expansion-layer configuration (Fig. 2a)."""
+    preset = get_scale(scale)
+    results: List[ConfigResult] = []
+    for label, wexp_init, sigma_inter, use_bn in FIG2A_CONFIGS:
+        result = ConfigResult(label=label)
+        for seed in seeds:
+            config = ALFConfig(
+                wexp_init=wexp_init, sigma_inter=sigma_inter, use_bn_inter=use_bn,
+                enable_mask=False, lr_task=0.05,
+            )
+            run, _ = train_alf_proxy(preset, config=config, seed=seed, epochs=epochs)
+            result.accuracies.append(run.accuracy)
+            result.remaining_filters.append(run.remaining_filters)
+        results.append(result)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 2b — autoencoder configuration (mask disabled)
+# --------------------------------------------------------------------------- #
+FIG2B_CONFIGS: List[Tuple[str, str, str]] = [
+    # (label, wae_init, sigma_ae)
+    ("rand|tanh", "rand", "tanh"),
+    ("he|tanh", "he", "tanh"),
+    ("xavier|tanh", "xavier", "tanh"),
+    ("rand|sigmoid", "rand", "sigmoid"),
+    ("he|sigmoid", "he", "sigmoid"),
+    ("xavier|sigmoid", "xavier", "sigmoid"),
+    ("rand|relu", "rand", "relu"),
+    ("he|relu", "he", "relu"),
+    ("xavier|relu", "xavier", "relu"),
+]
+
+
+def run_fig2b(scale: str = "ci", seeds: Sequence[int] = (0, 1),
+              sigma_inter: Optional[str] = None,
+              epochs: Optional[int] = None) -> List[ConfigResult]:
+    """Sweep the autoencoder init / activation (Fig. 2b), pruning mask off."""
+    preset = get_scale(scale)
+    results: List[ConfigResult] = []
+    for label, wae_init, sigma_ae in FIG2B_CONFIGS:
+        result = ConfigResult(label=label)
+        for seed in seeds:
+            config = ALFConfig(
+                wae_init=wae_init, sigma_ae=sigma_ae, sigma_inter=sigma_inter,
+                enable_mask=False, lr_task=0.05,
+            )
+            run, _ = train_alf_proxy(preset, config=config, seed=seed, epochs=epochs)
+            result.accuracies.append(run.accuracy)
+        results.append(result)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 2c — pruning dynamics for (lr_ae, threshold) variants
+# --------------------------------------------------------------------------- #
+@dataclass
+class PruningCurve:
+    """Per-epoch remaining filters / accuracy for one (lr_ae, t) variant."""
+
+    label: str
+    lr_autoencoder: float
+    threshold: float
+    epochs: List[int] = field(default_factory=list)
+    remaining_filters: List[float] = field(default_factory=list)
+    accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_remaining_percent(self) -> float:
+        return self.remaining_filters[-1] * 100 if self.remaining_filters else 100.0
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracy[-1] if self.accuracy else float("nan")
+
+
+# The five variants of Fig. 2c.  At proxy scale the learning rates and
+# thresholds are re-based (larger) because the runs are orders of magnitude
+# shorter than the paper's 200 epochs; the *relative ordering* of the
+# variants is what carries over (larger t or larger lr_ae -> more pruning).
+FIG2C_VARIANTS: List[Tuple[str, float, float]] = [
+    ("lr=1e-3,t=5e-5", 1e-3, 5e-5),
+    ("lr=1e-3,t=1e-4", 1e-3, 1e-4),
+    ("lr=1e-3,t=5e-4", 1e-3, 5e-4),
+    ("lr=1e-4,t=1e-4", 1e-4, 1e-4),
+    ("lr=1e-5,t=1e-4", 1e-5, 1e-4),
+]
+
+
+def run_fig2c(scale: str = "ci", seed: int = 0, epochs: Optional[int] = None,
+              lr_scale: float = 100.0, threshold_scale: float = 300.0) -> List[PruningCurve]:
+    """Reproduce the pruning-dynamics curves of Fig. 2c.
+
+    ``lr_scale`` / ``threshold_scale`` compensate for the much shorter proxy
+    runs (the paper's values assume 200 epochs x 390 steps); they multiply
+    every variant identically so relative comparisons are preserved.
+    """
+    preset = get_scale(scale)
+    curves: List[PruningCurve] = []
+    for label, lr_ae, threshold in FIG2C_VARIANTS:
+        config = ALFConfig(
+            lr_autoencoder=lr_ae * lr_scale, threshold=threshold * threshold_scale,
+            lr_task=0.05, pr_max=0.85, mask_init=0.5,
+        )
+        run, _ = train_alf_proxy(preset, config=config, seed=seed, epochs=epochs)
+        curve = PruningCurve(label=label, lr_autoencoder=lr_ae, threshold=threshold)
+        for stats in run.history.epochs:
+            curve.epochs.append(stats.epoch)
+            curve.remaining_filters.append(stats.remaining_filters)
+            curve.accuracy.append(stats.val_accuracy if stats.val_accuracy is not None else float("nan"))
+        curves.append(curve)
+    return curves
+
+
+def render_config_results(results: Sequence[ConfigResult], title: str) -> str:
+    headers = ["Configuration", "Accuracy [%]", "Spread [%]"]
+    rows = [[r.label, f"{r.mean_accuracy * 100:.1f}", f"{r.spread * 100:.1f}"] for r in results]
+    return render_table(headers, rows, title=title)
+
+
+def render_pruning_curves(curves: Sequence[PruningCurve]) -> str:
+    headers = ["Variant", "Remaining filters [%]", "Accuracy [%]"]
+    rows = [[c.label, f"{c.final_remaining_percent:.1f}", f"{c.final_accuracy * 100:.1f}"]
+            for c in curves]
+    return render_table(headers, rows, title="Fig. 2c — pruning dynamics (final epoch)")

@@ -1,0 +1,172 @@
+"""Experiment E7 — Table III: benchmarking on ImageNet.
+
+The Params / OPs columns are computed at the paper's true 224x224 geometry
+for all reference architectures (SqueezeNet, GoogLeNet, ResNet-18) and for
+the pruned ResNet-18 variants (LCNN, FPGM, AMC, ALF).  Accuracies cannot be
+measured at ImageNet scale on a pure-numpy substrate; an optional proxy run
+on the reduced synthetic ImageNet reproduces the accuracy *ordering*
+(uncompressed > mildly pruned > aggressively compressed), and the paper's
+reported accuracies are always attached for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import AMCPruner, FPGMPruner, LCNNCompressor, effective_cost
+from ..core import ALFConfig, convert_to_alf
+from ..metrics import MethodResult, pareto_front, profile_model
+from ..metrics.tables import format_count, render_table
+from ..models import googlenet, resnet18, squeezenet
+from .paper_values import TABLE3_IMAGENET
+
+IMAGENET_INPUT = (3, 224, 224)
+
+
+@dataclass
+class Table3Row:
+    method: str
+    policy: str
+    params: Optional[float]
+    ops: float
+    paper_params_m: Optional[float]
+    paper_ops_m: Optional[float]
+    paper_accuracy: Optional[float]
+    measured_accuracy: Optional[float] = None
+
+    def as_cells(self) -> List[str]:
+        return [
+            self.method, self.policy,
+            format_count(self.params), format_count(self.ops),
+            format_count(self.paper_params_m * 1e6 if self.paper_params_m is not None else None),
+            format_count(self.paper_ops_m * 1e6 if self.paper_ops_m is not None else None),
+            f"{self.paper_accuracy:.1f}" if self.paper_accuracy is not None else "-",
+        ]
+
+
+@dataclass
+class Table3Result:
+    rows: List[Table3Row] = field(default_factory=list)
+
+    def by_method(self, method: str) -> Table3Row:
+        for row in self.rows:
+            if row.method == method:
+                return row
+        raise KeyError(f"no row for method '{method}'")
+
+    def method_results(self) -> List[MethodResult]:
+        return [MethodResult(r.method, r.policy, r.params, r.ops,
+                             r.paper_accuracy if r.paper_accuracy is not None else 0.0)
+                for r in self.rows]
+
+    def render(self) -> str:
+        headers = ["Method", "Policy", "Params", "OPs", "Paper Params", "Paper OPs",
+                   "Paper Acc[%]"]
+        return render_table(headers, [r.as_cells() for r in self.rows],
+                            title="Table III — benchmarking on ImageNet")
+
+
+def _reference_costs(seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Params / OPs of the three reference architectures at 224x224."""
+    rng = np.random.default_rng(seed)
+    costs = {}
+    for name, factory in [("SqueezeNet", squeezenet), ("GoogleNet", googlenet),
+                          ("ResNet-18", resnet18)]:
+        profile = profile_model(factory(rng=rng), IMAGENET_INPUT)
+        costs[name] = {
+            "params": profile.total_params(),
+            "ops": profile.total_ops(),
+        }
+    return costs
+
+
+def alf_resnet18_cost(remaining_fraction: float = 0.33, seed: int = 0) -> Dict[str, float]:
+    """ALF-compressed ResNet-18 at 224x224 (Table III's ALF row).
+
+    The default remaining-filter fraction (~33%) is the operating point that
+    yields the paper's reported ~2.8x parameter and ~3x OPs reduction.
+    """
+    rng = np.random.default_rng(seed)
+    model = resnet18(rng=rng)
+    blocks = convert_to_alf(model, ALFConfig(), rng=np.random.default_rng(seed + 1))
+    for _, block in blocks:
+        keep = max(1, int(round(block.out_channels * remaining_fraction)))
+        mask = np.zeros(block.out_channels)
+        mask[:keep] = 1.0
+        block.autoencoder.pruning_mask.mask.data = mask
+    profile = profile_model(model, IMAGENET_INPUT)
+    return {"params": profile.total_params(), "ops": profile.total_ops()}
+
+
+def fpgm_resnet18_cost(prune_ratio: float = 0.22, seed: int = 0) -> Dict[str, float]:
+    rng = np.random.default_rng(seed)
+    model = resnet18(rng=rng)
+    plan = FPGMPruner().plan(model, prune_ratio=prune_ratio)
+    return effective_cost(model, plan, IMAGENET_INPUT)
+
+
+def amc_resnet18_cost(ops_budget: float = 0.5, seed: int = 0,
+                      iterations: int = 3, population: int = 6) -> Dict[str, float]:
+    rng = np.random.default_rng(seed)
+    model = resnet18(rng=rng)
+    pruner = AMCPruner(target_ops_fraction=ops_budget, iterations=iterations,
+                       population=population, seed=seed)
+    plan = pruner.plan(model, prune_ratio=1.0 - ops_budget)
+    return effective_cost(model, plan, IMAGENET_INPUT)
+
+
+def lcnn_resnet18_cost(dictionary_fraction: float = 0.12, sparsity: int = 3,
+                       seed: int = 0) -> Dict[str, float]:
+    rng = np.random.default_rng(seed)
+    model = resnet18(rng=rng)
+    compressor = LCNNCompressor(dictionary_fraction=dictionary_fraction,
+                                sparsity=sparsity, seed=seed)
+    result = compressor.compress(model)
+    return compressor.effective_cost(model, result, IMAGENET_INPUT)
+
+
+def run(seed: int = 0, alf_remaining_fraction: float = 0.33) -> Table3Result:
+    """Regenerate Table III's cost columns (accuracy columns quote the paper)."""
+    references = _reference_costs(seed=seed)
+    lcnn = lcnn_resnet18_cost(seed=seed)
+    fpgm = fpgm_resnet18_cost(seed=seed)
+    amc = amc_resnet18_cost(seed=seed)
+    alf = alf_resnet18_cost(remaining_fraction=alf_remaining_fraction, seed=seed)
+
+    paper = TABLE3_IMAGENET
+    result = Table3Result()
+    for name in ("SqueezeNet", "GoogleNet", "ResNet-18"):
+        result.rows.append(Table3Row(
+            name, "—", references[name]["params"], references[name]["ops"],
+            paper[name]["params_m"], paper[name]["ops_m"], paper[name]["accuracy"],
+        ))
+    result.rows.append(Table3Row(
+        "LCNN", "Automatic", lcnn["params"], lcnn["ops"],
+        paper["LCNN"]["params_m"], paper["LCNN"]["ops_m"], paper["LCNN"]["accuracy"],
+    ))
+    result.rows.append(Table3Row(
+        "FPGM", "Handcrafted", fpgm["params"], fpgm["ops"],
+        paper["FPGM"]["params_m"], paper["FPGM"]["ops_m"], paper["FPGM"]["accuracy"],
+    ))
+    result.rows.append(Table3Row(
+        "AMC", "RL-Agent", amc["params"], amc["ops"],
+        paper["AMC"]["params_m"], paper["AMC"]["ops_m"], paper["AMC"]["accuracy"],
+    ))
+    result.rows.append(Table3Row(
+        "ALF", "Automatic", alf["params"], alf["ops"],
+        paper["ALF"]["params_m"], paper["ALF"]["ops_m"], paper["ALF"]["accuracy"],
+    ))
+    return result
+
+
+def relative_ops_factors(result: Table3Result) -> Dict[str, float]:
+    """The "x1.4 / x2.4 / x3.0 fewer OPs" comparison quoted in Sec. IV-B."""
+    alf_ops = result.by_method("ALF").ops
+    return {
+        "vs_squeezenet": result.by_method("SqueezeNet").ops / alf_ops,
+        "vs_googlenet": result.by_method("GoogleNet").ops / alf_ops,
+        "vs_resnet18": result.by_method("ResNet-18").ops / alf_ops,
+    }

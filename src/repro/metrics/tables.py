@@ -1,0 +1,43 @@
+"""Plain-text table rendering used by the benchmark harnesses.
+
+The benchmark for each paper table prints rows in the same structure the
+paper reports; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_count(value: Optional[float], unit: str = "M", decimals: int = 2) -> str:
+    """Render a raw count in millions (``unit='M'``) or thousands (``'K'``)."""
+    if value is None:
+        return "-"
+    scale = {"": 1.0, "K": 1e3, "M": 1e6, "G": 1e9}[unit]
+    return f"{value / scale:.{decimals}f}{unit}"
+
+
+def format_percent(value: Optional[float], decimals: int = 1, signed: bool = False) -> str:
+    if value is None:
+        return "-"
+    sign = "+" if signed and value >= 0 else ""
+    return f"{sign}{value * 100:.{decimals}f}%"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""``repro.models`` — CNN architectures used in the ALF paper's evaluation."""
+
+from .googlenet import GoogLeNet, InceptionModule, googlenet
+from .lenet import LeNet, lenet
+from .plain import ConvBNReLU, PlainNet, plain8, plain20, plain_layer_names
+from .registry import available_models, build_model, default_input_shape
+from .resnet import (
+    BasicBlock,
+    ResNetCIFAR,
+    ResNetImageNet,
+    resnet8,
+    resnet18,
+    resnet20,
+    resnet34,
+)
+from .squeezenet import FireModule, SqueezeNet, squeezenet
+
+__all__ = [
+    "PlainNet", "ConvBNReLU", "plain20", "plain8", "plain_layer_names",
+    "ResNetCIFAR", "ResNetImageNet", "BasicBlock",
+    "resnet20", "resnet8", "resnet18", "resnet34",
+    "SqueezeNet", "FireModule", "squeezenet",
+    "GoogLeNet", "InceptionModule", "googlenet",
+    "LeNet", "lenet",
+    "build_model", "available_models", "default_input_shape",
+]

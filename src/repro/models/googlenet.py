@@ -1,0 +1,134 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., 2015).
+
+GoogLeNet is the second reference architecture of Table III.  The network
+is built from Inception modules with four parallel branches (1x1, 1x1-3x3,
+1x1-5x5, pool-1x1); auxiliary classifiers are omitted because they only
+matter for training regularization, not for the parameter / OPs accounting
+used in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import concatenate
+from ..nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from ..nn.module import Module
+
+
+class ConvRelu(Module):
+    """Convolution + ReLU as used inside Inception branches."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv = Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                           padding=padding, rng=rng)
+        self.relu = ReLU()
+
+    def forward(self, x):
+        return self.relu(self.conv(x))
+
+
+class InceptionModule(Module):
+    """Four-branch Inception block (1x1 / 3x3 / 5x5 / pool-proj)."""
+
+    def __init__(self, in_channels: int, b1: int, b3_reduce: int, b3: int,
+                 b5_reduce: int, b5: int, pool_proj: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.branch1 = ConvRelu(in_channels, b1, 1, rng=rng)
+        self.branch3_reduce = ConvRelu(in_channels, b3_reduce, 1, rng=rng)
+        self.branch3 = ConvRelu(b3_reduce, b3, 3, padding=1, rng=rng)
+        self.branch5_reduce = ConvRelu(in_channels, b5_reduce, 1, rng=rng)
+        self.branch5 = ConvRelu(b5_reduce, b5, 5, padding=2, rng=rng)
+        self.pool = MaxPool2d(3, stride=1)
+        self.pool_proj = ConvRelu(in_channels, pool_proj, 1, rng=rng)
+        self.out_channels = b1 + b3 + b5 + pool_proj
+
+    def forward(self, x):
+        out1 = self.branch1(x)
+        out3 = self.branch3(self.branch3_reduce(x))
+        out5 = self.branch5(self.branch5_reduce(x))
+        # The 3x3/stride-1 max pool shrinks the map by 2 pixels; pad the input
+        # so all branches keep the same spatial size.
+        pooled = self.pool(x.pad2d(1))
+        out_pool = self.pool_proj(pooled)
+        return concatenate([out1, out3, out5, out_pool], axis=1)
+
+
+# Standard GoogLeNet inception configuration:
+# (b1, b3_reduce, b3, b5_reduce, b5, pool_proj)
+_INCEPTION_CONFIG = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+class GoogLeNet(Module):
+    """Inception-v1 without auxiliary heads."""
+
+    def __init__(self, num_classes: int = 1000, in_channels: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = ConvRelu(in_channels, 64, 7, stride=2, padding=3, rng=rng)
+        self.pool1 = MaxPool2d(3, stride=2)
+        self.conv2_reduce = ConvRelu(64, 64, 1, rng=rng)
+        self.conv2 = ConvRelu(64, 192, 3, padding=1, rng=rng)
+        self.pool2 = MaxPool2d(3, stride=2)
+
+        cfg = _INCEPTION_CONFIG
+        self.inception3a = InceptionModule(192, *cfg["3a"], rng=rng)
+        self.inception3b = InceptionModule(256, *cfg["3b"], rng=rng)
+        self.pool3 = MaxPool2d(3, stride=2)
+        self.inception4a = InceptionModule(480, *cfg["4a"], rng=rng)
+        self.inception4b = InceptionModule(512, *cfg["4b"], rng=rng)
+        self.inception4c = InceptionModule(512, *cfg["4c"], rng=rng)
+        self.inception4d = InceptionModule(512, *cfg["4d"], rng=rng)
+        self.inception4e = InceptionModule(528, *cfg["4e"], rng=rng)
+        self.pool4 = MaxPool2d(3, stride=2)
+        self.inception5a = InceptionModule(832, *cfg["5a"], rng=rng)
+        self.inception5b = InceptionModule(832, *cfg["5b"], rng=rng)
+        self.global_pool = GlobalAvgPool2d()
+        self.dropout = Dropout(0.4)
+        self.classifier = Linear(1024, num_classes, rng=rng)
+
+    def forward(self, x):
+        x = self.pool1(self.conv1(x))
+        x = self.pool2(self.conv2(self.conv2_reduce(x)))
+        x = self.inception3b(self.inception3a(x))
+        x = self.pool3(x)
+        x = self.inception4a(x)
+        x = self.inception4b(x)
+        x = self.inception4c(x)
+        x = self.inception4d(x)
+        x = self.inception4e(x)
+        x = self.pool4(x)
+        x = self.inception5b(self.inception5a(x))
+        x = self.global_pool(x)
+        return self.classifier(x)
+
+
+def googlenet(num_classes: int = 1000, rng: Optional[np.random.Generator] = None,
+              in_channels: int = 3) -> GoogLeNet:
+    """GoogLeNet (Inception-v1) as referenced in Table III."""
+    return GoogLeNet(num_classes=num_classes, in_channels=in_channels, rng=rng)

@@ -1,0 +1,41 @@
+"""Small LeNet-style CNN used for fast unit / integration tests.
+
+Not part of the paper's evaluation, but a convenient smallest-possible
+network to exercise the full ALF pipeline (convert -> train -> compress)
+within seconds in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Flatten, GlobalAvgPool2d, Linear, MaxPool2d, ReLU
+from ..nn.module import Module
+
+
+class LeNet(Module):
+    """Two convolutions, one pooling step and a linear classifier."""
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 1, width: int = 8,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        self.relu1 = ReLU()
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(width, width * 2, 3, padding=1, rng=rng)
+        self.relu2 = ReLU()
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(width * 2, num_classes, rng=rng)
+
+    def forward(self, x):
+        x = self.pool1(self.relu1(self.conv1(x)))
+        x = self.relu2(self.conv2(x))
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+def lenet(num_classes: int = 10, in_channels: int = 1, width: int = 8,
+          rng: Optional[np.random.Generator] = None) -> LeNet:
+    return LeNet(num_classes=num_classes, in_channels=in_channels, width=width, rng=rng)

@@ -1,0 +1,108 @@
+"""Plain-N CNNs (ResNets without shortcuts) for CIFAR-style inputs.
+
+Plain-20 is the network used for the paper's design-space exploration
+(Fig. 2) and for the hardware study (Fig. 3).  Following He et al. [4], a
+Plain-N network for CIFAR consists of an initial 3x3 convolution with 16
+filters, three stages of ``2n`` 3x3 convolutions with 16/32/64 filters
+(``N = 6n + 2``), a global average pool and a linear classifier.  The
+paper's Fig. 3 labels the convolutions CONV1, CONV211 ... CONV432; the same
+names are exposed here via :func:`plain_layer_names`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, Linear, ReLU
+from ..nn.module import Module, ModuleList, Sequential
+
+
+class ConvBNReLU(Module):
+    """3x3 convolution followed by batch normalization and ReLU."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 kernel_size: int = 3, use_bn: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        padding = kernel_size // 2
+        self.conv = Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                           padding=padding, bias=not use_bn, rng=rng)
+        self.bn = BatchNorm2d(out_channels) if use_bn else None
+        self.relu = ReLU()
+
+    def forward(self, x):
+        x = self.conv(x)
+        if self.bn is not None:
+            x = self.bn(x)
+        return self.relu(x)
+
+
+class PlainNet(Module):
+    """Plain (shortcut-free) CIFAR CNN with ``6n + 2`` layers."""
+
+    def __init__(self, num_blocks_per_stage: int = 3, num_classes: int = 10,
+                 in_channels: int = 3, base_width: int = 16, use_bn: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_blocks_per_stage = num_blocks_per_stage
+        self.num_classes = num_classes
+        self.base_width = base_width
+        widths = [base_width, base_width * 2, base_width * 4]
+
+        self.stem = ConvBNReLU(in_channels, widths[0], stride=1, use_bn=use_bn, rng=rng)
+        layers: List[Module] = []
+        current = widths[0]
+        for stage_index, width in enumerate(widths):
+            for block_index in range(num_blocks_per_stage):
+                # Two convolutions per "block" (matching the ResNet basic block
+                # structure that the CONVxyz naming of Fig. 3 refers to).
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                layers.append(ConvBNReLU(current, width, stride=stride, use_bn=use_bn, rng=rng))
+                layers.append(ConvBNReLU(width, width, stride=1, use_bn=use_bn, rng=rng))
+                current = width
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(widths[-1], num_classes, rng=rng)
+
+    @property
+    def depth(self) -> int:
+        """Number of weighted layers (convolutions + final linear)."""
+        return 6 * self.num_blocks_per_stage + 2
+
+    def forward(self, x):
+        x = self.stem(x)
+        x = self.features(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+def plain20(num_classes: int = 10, rng: Optional[np.random.Generator] = None,
+            base_width: int = 16, in_channels: int = 3) -> PlainNet:
+    """The Plain-20 network of He et al. used throughout the paper."""
+    return PlainNet(num_blocks_per_stage=3, num_classes=num_classes, base_width=base_width,
+                    in_channels=in_channels, rng=rng)
+
+
+def plain8(num_classes: int = 10, rng: Optional[np.random.Generator] = None,
+           base_width: int = 8, in_channels: int = 3) -> PlainNet:
+    """A shallow Plain-8 variant used to keep CI-scale experiments fast."""
+    return PlainNet(num_blocks_per_stage=1, num_classes=num_classes, base_width=base_width,
+                    in_channels=in_channels, rng=rng)
+
+
+def plain_layer_names(num_blocks_per_stage: int = 3) -> List[str]:
+    """Paper-style convolution names: CONV1, CONV211, CONV212, ..., CONV432.
+
+    The first digit is the stage (2-4 for the three CIFAR stages), the
+    second the block within the stage, the third the convolution within the
+    block.
+    """
+    names = ["CONV1"]
+    for stage in range(2, 5):
+        for block in range(1, num_blocks_per_stage + 1):
+            for conv in (1, 2):
+                names.append(f"CONV{stage}{block}{conv}")
+    return names

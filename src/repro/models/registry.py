@@ -1,0 +1,69 @@
+"""Model registry: build any architecture used in the paper by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from .googlenet import googlenet
+from .lenet import lenet
+from .plain import plain8, plain20
+from .resnet import resnet8, resnet18, resnet20, resnet34
+from .squeezenet import squeezenet
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "plain20": plain20,
+    "plain8": plain8,
+    "resnet20": resnet20,
+    "resnet8": resnet8,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "squeezenet": squeezenet,
+    "googlenet": googlenet,
+    "lenet": lenet,
+}
+
+# Default image geometry associated with each architecture (channels, H, W);
+# used by the metrics and hardware modules when no explicit input is given.
+DEFAULT_INPUT_SHAPES: Dict[str, tuple] = {
+    "plain20": (3, 32, 32),
+    "plain8": (3, 32, 32),
+    "resnet20": (3, 32, 32),
+    "resnet8": (3, 32, 32),
+    "resnet18": (3, 224, 224),
+    "resnet34": (3, 224, 224),
+    "squeezenet": (3, 224, 224),
+    "googlenet": (3, 224, 224),
+    "lenet": (1, 16, 16),
+}
+
+
+def available_models() -> list:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, num_classes: Optional[int] = None,
+                rng: Optional[np.random.Generator] = None, **kwargs) -> Module:
+    """Instantiate a model by registry name.
+
+    ``num_classes`` defaults to each architecture's native setting (10 for
+    the CIFAR models, 1000 for the ImageNet models).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown model '{name}'; available: {available_models()}")
+    factory = _REGISTRY[key]
+    if num_classes is not None:
+        kwargs["num_classes"] = num_classes
+    return factory(rng=rng, **kwargs)
+
+
+def default_input_shape(name: str) -> tuple:
+    """The (C, H, W) input geometry the architecture was designed for."""
+    key = name.lower()
+    if key not in DEFAULT_INPUT_SHAPES:
+        raise KeyError(f"unknown model '{name}'")
+    return DEFAULT_INPUT_SHAPES[key]

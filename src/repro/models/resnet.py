@@ -1,0 +1,148 @@
+"""Residual networks: ResNet-20 (CIFAR) and ResNet-18 (ImageNet).
+
+ResNet-20 is the full-precision baseline of Table II; ResNet-18 is the
+backbone pruned by ALF, AMC, FPGM and LCNN in Table III.  Both follow
+He et al. [4]: basic blocks with two 3x3 convolutions and identity
+shortcuts, 1x1 projection shortcuts where the shape changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from ..nn.module import Module, Sequential
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x):
+        identity = x if self.shortcut is None else self.shortcut(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + identity)
+
+
+class ResNetCIFAR(Module):
+    """CIFAR-style ResNet with ``6n + 2`` layers (ResNet-20 for ``n = 3``)."""
+
+    def __init__(self, num_blocks_per_stage: int = 3, num_classes: int = 10,
+                 in_channels: int = 3, base_width: int = 16,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_blocks_per_stage = num_blocks_per_stage
+        widths = [base_width, base_width * 2, base_width * 4]
+        self.stem_conv = Conv2d(in_channels, widths[0], 3, stride=1, padding=1,
+                                bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.relu = ReLU()
+
+        blocks: List[Module] = []
+        current = widths[0]
+        for stage_index, width in enumerate(widths):
+            for block_index in range(num_blocks_per_stage):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                blocks.append(BasicBlock(current, width, stride=stride, rng=rng))
+                current = width
+        self.layers = Sequential(*blocks)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(widths[-1], num_classes, rng=rng)
+
+    @property
+    def depth(self) -> int:
+        return 6 * self.num_blocks_per_stage + 2
+
+    def forward(self, x):
+        x = self.relu(self.stem_bn(self.stem_conv(x)))
+        x = self.layers(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+class ResNetImageNet(Module):
+    """ImageNet-style ResNet built from basic blocks (ResNet-18 / ResNet-34)."""
+
+    def __init__(self, stage_blocks: Sequence[int] = (2, 2, 2, 2), num_classes: int = 1000,
+                 in_channels: int = 3, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        widths = [64, 128, 256, 512]
+        self.stem_conv = Conv2d(in_channels, 64, 7, stride=2, padding=3, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(64)
+        self.relu = ReLU()
+        self.maxpool = MaxPool2d(3, stride=2)
+
+        blocks: List[Module] = []
+        current = 64
+        for stage_index, (width, count) in enumerate(zip(widths, stage_blocks)):
+            for block_index in range(count):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                blocks.append(BasicBlock(current, width, stride=stride, rng=rng))
+                current = width
+        self.layers = Sequential(*blocks)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(widths[-1], num_classes, rng=rng)
+
+    def forward(self, x):
+        x = self.relu(self.stem_bn(self.stem_conv(x)))
+        x = self.maxpool(x)
+        x = self.layers(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+
+def resnet20(num_classes: int = 10, rng: Optional[np.random.Generator] = None,
+             base_width: int = 16, in_channels: int = 3) -> ResNetCIFAR:
+    """ResNet-20: the full-precision CIFAR baseline of Table II."""
+    return ResNetCIFAR(num_blocks_per_stage=3, num_classes=num_classes,
+                       base_width=base_width, in_channels=in_channels, rng=rng)
+
+
+def resnet8(num_classes: int = 10, rng: Optional[np.random.Generator] = None,
+            base_width: int = 8, in_channels: int = 3) -> ResNetCIFAR:
+    """A shallow ResNet-8 used for fast integration tests."""
+    return ResNetCIFAR(num_blocks_per_stage=1, num_classes=num_classes,
+                       base_width=base_width, in_channels=in_channels, rng=rng)
+
+
+def resnet18(num_classes: int = 1000, rng: Optional[np.random.Generator] = None,
+             in_channels: int = 3) -> ResNetImageNet:
+    """ResNet-18: the ImageNet backbone of Table III."""
+    return ResNetImageNet(stage_blocks=(2, 2, 2, 2), num_classes=num_classes,
+                          in_channels=in_channels, rng=rng)
+
+
+def resnet34(num_classes: int = 1000, rng: Optional[np.random.Generator] = None,
+             in_channels: int = 3) -> ResNetImageNet:
+    """ResNet-34 (provided for completeness of the model zoo)."""
+    return ResNetImageNet(stage_blocks=(3, 4, 6, 3), num_classes=num_classes,
+                          in_channels=in_channels, rng=rng)

@@ -1,0 +1,82 @@
+"""SqueezeNet v1.0 (Iandola et al., 2016).
+
+SqueezeNet appears in Table III as a compact reference architecture.  It is
+built from "Fire" modules: a 1x1 squeeze convolution followed by parallel
+1x1 and 3x3 expand convolutions whose outputs are concatenated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import concatenate
+from ..nn.layers import AvgPool2d, Conv2d, Dropout, GlobalAvgPool2d, MaxPool2d, ReLU
+from ..nn.module import Module, Sequential
+
+
+class FireModule(Module):
+    """Squeeze (1x1) followed by parallel 1x1 / 3x3 expand convolutions."""
+
+    def __init__(self, in_channels: int, squeeze: int, expand1x1: int, expand3x3: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.squeeze = Conv2d(in_channels, squeeze, 1, rng=rng)
+        self.expand1x1 = Conv2d(squeeze, expand1x1, 1, rng=rng)
+        self.expand3x3 = Conv2d(squeeze, expand3x3, 3, padding=1, rng=rng)
+        self.relu = ReLU()
+        self.out_channels = expand1x1 + expand3x3
+
+    def forward(self, x):
+        squeezed = self.relu(self.squeeze(x))
+        left = self.relu(self.expand1x1(squeezed))
+        right = self.relu(self.expand3x3(squeezed))
+        return concatenate([left, right], axis=1)
+
+
+class SqueezeNet(Module):
+    """SqueezeNet v1.0 with the standard Fire module configuration."""
+
+    def __init__(self, num_classes: int = 1000, in_channels: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, 96, 7, stride=2, padding=3, rng=rng)
+        self.relu = ReLU()
+        self.pool1 = MaxPool2d(3, stride=2)
+        self.fire2 = FireModule(96, 16, 64, 64, rng=rng)
+        self.fire3 = FireModule(128, 16, 64, 64, rng=rng)
+        self.fire4 = FireModule(128, 32, 128, 128, rng=rng)
+        self.pool4 = MaxPool2d(3, stride=2)
+        self.fire5 = FireModule(256, 32, 128, 128, rng=rng)
+        self.fire6 = FireModule(256, 48, 192, 192, rng=rng)
+        self.fire7 = FireModule(384, 48, 192, 192, rng=rng)
+        self.fire8 = FireModule(384, 64, 256, 256, rng=rng)
+        self.pool8 = MaxPool2d(3, stride=2)
+        self.fire9 = FireModule(512, 64, 256, 256, rng=rng)
+        self.dropout = Dropout(0.5)
+        # The classifier is a 1x1 convolution, as in the original network.
+        self.conv10 = Conv2d(512, num_classes, 1, rng=rng)
+        self.global_pool = GlobalAvgPool2d()
+
+    def forward(self, x):
+        x = self.pool1(self.relu(self.conv1(x)))
+        x = self.fire2(x)
+        x = self.fire3(x)
+        x = self.fire4(x)
+        x = self.pool4(x)
+        x = self.fire5(x)
+        x = self.fire6(x)
+        x = self.fire7(x)
+        x = self.fire8(x)
+        x = self.pool8(x)
+        x = self.fire9(x)
+        x = self.dropout(x)
+        x = self.relu(self.conv10(x))
+        return self.global_pool(x)
+
+
+def squeezenet(num_classes: int = 1000, rng: Optional[np.random.Generator] = None,
+               in_channels: int = 3) -> SqueezeNet:
+    """SqueezeNet v1.0 as referenced in Table III."""
+    return SqueezeNet(num_classes=num_classes, in_channels=in_channels, rng=rng)

@@ -1,0 +1,43 @@
+"""``repro.nn`` — a compact numpy deep-learning framework.
+
+This package is the training substrate for the ALF reproduction: a
+define-by-run autograd engine (:mod:`repro.nn.tensor`), functional ops
+(:mod:`repro.nn.functional`), layers and containers, initializers,
+optimizers, losses and straight-through-estimator primitives.
+"""
+
+from . import functional
+from . import init
+from . import loss
+from . import optim
+from . import ste
+from . import utils
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    activation_module,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
+from .tensor import Tensor, concatenate, ones, randn, stack, zeros
+
+__all__ = [
+    "Tensor", "Parameter", "Module", "Sequential", "ModuleList",
+    "Conv2d", "Linear", "BatchNorm1d", "BatchNorm2d", "ReLU", "Tanh", "Sigmoid",
+    "Identity", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten", "Dropout",
+    "activation_module",
+    "SGD", "Adam", "StepLR", "MultiStepLR", "CosineAnnealingLR",
+    "functional", "init", "loss", "optim", "ste", "utils",
+    "concatenate", "stack", "zeros", "ones", "randn",
+]

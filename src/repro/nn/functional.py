@@ -1,0 +1,296 @@
+"""Functional neural-network operations for the ``repro.nn`` framework.
+
+Every function takes and returns :class:`~repro.nn.tensor.Tensor` objects
+and participates in the autograd graph.  Convolutions are implemented with
+an im2col lowering so that the heavy lifting is a single matrix multiply,
+which keeps pure-numpy training of the small CNNs used in the ALF paper
+tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, unbroadcast
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+# --------------------------------------------------------------------------- #
+# im2col / col2im
+# --------------------------------------------------------------------------- #
+def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
+           padding: Tuple[int, int]) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Lower a batched image tensor to column form.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel, stride, padding:
+        Convolution geometry as ``(h, w)`` pairs.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, C * kh * kw, out_h * out_w)``.
+    (out_h, out_w):
+        Spatial output size.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    # Gather sliding windows with as_strided: result is
+    # (N, C, kh, kw, out_h, out_w) without copying.
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[2] * sh,
+        x.strides[3] * sw,
+    )
+    shape = (n, c, kh, kw, out_h, out_w)
+    windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = windows.reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def col2im(cols: np.ndarray, input_shape: Tuple[int, int, int, int],
+           kernel: Tuple[int, int], stride: Tuple[int, int],
+           padding: Tuple[int, int], output_size: Tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`im2col` by scatter-add (used for conv backward)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = output_size
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    if ph or pw:
+        return padded[:, :, ph:ph + h, pw:pw + w]
+    return padded
+
+
+# --------------------------------------------------------------------------- #
+# Convolution / pooling
+# --------------------------------------------------------------------------- #
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: IntPair = 1, padding: IntPair = 0) -> Tensor:
+    """2D convolution.
+
+    ``x`` has shape ``(N, Ci, H, W)`` and ``weight`` has shape
+    ``(Co, Ci, KH, KW)``; output has shape ``(N, Co, Ho, Wo)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, ci, h, w = x.shape
+    co, ci_w, kh, kw = weight.shape
+    if ci != ci_w:
+        raise ValueError(f"input channels ({ci}) do not match weight channels ({ci_w})")
+
+    cols, (out_h, out_w) = im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(co, -1)
+    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    out = out.reshape(n, co, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, co, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, co, out_h * out_w)
+        if weight.requires_grad:
+            grad_w = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
+            weight._accumulate_grad(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_cols = np.einsum("of,nol->nfl", w_mat, grad_mat, optimize=True)
+            grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding, (out_h, out_w))
+            x._accumulate_grad(grad_x)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate_grad(grad.sum(axis=(0, 2, 3)).reshape(bias.shape))
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) spatial windows."""
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    n, c, h, w = x.shape
+    cols, (out_h, out_w) = im2col(x.data, kernel, stride, (0, 0))
+    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_cols = np.zeros((n, c, kernel[0] * kernel[1], out_h * out_w), dtype=grad.dtype)
+        np.put_along_axis(
+            grad_cols, argmax[:, :, None, :], grad.reshape(n, c, 1, out_h * out_w), axis=2
+        )
+        grad_cols = grad_cols.reshape(n, c * kernel[0] * kernel[1], out_h * out_w)
+        grad_x = col2im(grad_cols, x.shape, kernel, stride, (0, 0), (out_h, out_w))
+        x._accumulate_grad(grad_x)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling over spatial windows."""
+    kernel = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else kernel
+    n, c, h, w = x.shape
+    cols, (out_h, out_w) = im2col(x.data, kernel, stride, (0, 0))
+    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    window = kernel[0] * kernel[1]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_cols = np.broadcast_to(
+            grad.reshape(n, c, 1, out_h * out_w) / window,
+            (n, c, window, out_h * out_w),
+        ).reshape(n, c * window, out_h * out_w)
+        grad_x = col2im(np.ascontiguousarray(grad_cols), x.shape, kernel, stride, (0, 0), (out_h, out_w))
+        x._accumulate_grad(grad_x)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning ``(N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+# --------------------------------------------------------------------------- #
+# Dense / normalization
+# --------------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool, momentum: float = 0.1, eps: float = 1e-5) -> Tensor:
+    """Batch normalization over the channel dimension of ``(N, C, H, W)`` or ``(N, C)``.
+
+    ``running_mean``/``running_var`` are plain numpy buffers updated in place
+    when ``training`` is true.
+    """
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise ValueError("batch_norm expects a 2D or 4D input")
+
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=axes, keepdims=True)
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= (1.0 - momentum)
+        running_var += momentum * var.data.reshape(-1)
+        x_hat = (x - mean) / (var + eps) ** 0.5
+    else:
+        mean = Tensor(running_mean.reshape(shape))
+        var = Tensor(running_var.reshape(shape))
+        x_hat = (x - mean) / (var + eps) ** 0.5
+
+    return x_hat * gamma.reshape(shape) + beta.reshape(shape)
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# --------------------------------------------------------------------------- #
+# Activations and classification heads
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def identity(x: Tensor) -> Tensor:
+    return x
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+ACTIVATIONS = {
+    "relu": relu,
+    "tanh": tanh,
+    "sigmoid": sigmoid,
+    "none": identity,
+    "identity": identity,
+}
+
+
+def get_activation(name: Optional[str]):
+    """Look up an activation function by name (``None`` means identity)."""
+    if name is None:
+        return identity
+    key = name.lower()
+    if key not in ACTIVATIONS:
+        raise KeyError(f"unknown activation '{name}'; choose from {sorted(ACTIVATIONS)}")
+    return ACTIVATIONS[key]

@@ -1,0 +1,99 @@
+"""Weight initialization schemes.
+
+The ALF paper's design-space exploration (Fig. 2a/2b) compares He [24],
+Xavier [25] and plain random initialization for the expansion layer and
+the autoencoder weights, so every scheme is addressable by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense or convolutional weight shapes."""
+    shape = tuple(shape)
+    if len(shape) == 2:           # (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:         # (Co, Ci, KH, KW)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in = int(np.prod(shape[1:]))
+        fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def he_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He (Kaiming) normal initialization: std = sqrt(2 / fan_in)."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(1, fan_in))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He uniform initialization: bound = sqrt(6 / fan_in)."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(1, fan_in))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Xavier (Glorot) normal initialization: std = sqrt(2 / (fan_in + fan_out))."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(1, fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Xavier (Glorot) uniform initialization: bound = sqrt(6 / (fan_in + fan_out))."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def random_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None,
+                  std: float = 0.05) -> np.ndarray:
+    """Plain random normal initialization (the "rand" option in Fig. 2b)."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    return np.ones(shape)
+
+
+INITIALIZERS: Dict[str, Callable] = {
+    "he": he_normal,
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+    "xavier": xavier_normal,
+    "xavier_normal": xavier_normal,
+    "xavier_uniform": xavier_uniform,
+    "rand": random_normal,
+    "random": random_normal,
+    "normal": random_normal,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get_initializer(name: str) -> Callable:
+    """Look up an initializer by name as used in the paper's Fig. 2a/2b."""
+    key = name.lower()
+    if key not in INITIALIZERS:
+        raise KeyError(f"unknown initializer '{name}'; choose from {sorted(INITIALIZERS)}")
+    return INITIALIZERS[key]

@@ -1,0 +1,168 @@
+"""Standard neural-network layers built on the autograd Tensor.
+
+These layers cover everything required by the CNN architectures used in the
+ALF paper (Plain-20, ResNet-20/18, SqueezeNet, GoogLeNet-lite) and by the
+ALF blocks themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from . import functional as F
+from . import init as init_mod
+from .module import Module, Parameter
+from .tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Conv2d(Module):
+    """2D convolution layer with ``(Co, Ci, K, K)`` weights."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: IntPair,
+                 stride: IntPair = 1, padding: IntPair = 0, bias: bool = True,
+                 weight_init: str = "he", rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = F._pair(kernel_size)
+        self.stride = F._pair(stride)
+        self.padding = F._pair(padding)
+        initializer = init_mod.get_initializer(weight_init)
+        shape = (out_channels, in_channels) + self.kernel_size
+        self.weight = Parameter(initializer(shape, rng=rng))
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_shape(self, input_hw: Tuple[int, int]) -> Tuple[int, int]:
+        """Spatial output size for an input of the given height/width."""
+        h = F.conv_output_size(input_hw[0], self.kernel_size[0], self.stride[0], self.padding[0])
+        w = F.conv_output_size(input_hw[1], self.kernel_size[1], self.stride[1], self.padding[1])
+        return (h, w)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})")
+
+
+class Linear(Module):
+    """Fully connected layer with ``(out_features, in_features)`` weights."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 weight_init: str = "he", rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        initializer = init_mod.get_initializer(weight_init)
+        self.weight = Parameter(initializer((out_features, in_features), rng=rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dimension of NCHW feature maps."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(
+            x, self.gamma, self.beta, self.running_mean, self.running_var,
+            training=self.training, momentum=self.momentum, eps=self.eps,
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class BatchNorm1d(BatchNorm2d):
+    """Batch normalization for (N, C) activations."""
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+
+def activation_module(name: Optional[str]) -> Module:
+    """Instantiate an activation layer from its name (``None`` -> Identity)."""
+    if name is None:
+        return Identity()
+    key = name.lower()
+    table = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid, "none": Identity,
+             "identity": Identity}
+    if key not in table:
+        raise KeyError(f"unknown activation '{name}'; choose from {sorted(table)}")
+    return table[key]()

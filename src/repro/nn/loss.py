@@ -1,0 +1,83 @@
+"""Loss functions used by the task and autoencoder optimizers.
+
+The task loss of ALF is cross-entropy plus an L2 weight-decay term; the
+autoencoder loss is an MSE reconstruction term plus an L1 mask
+regularizer (Sec. III-B of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between raw logits ``(N, C)`` and integer labels ``(N,)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1D array of class indices")
+    n = logits.shape[0]
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Negative log-likelihood given log-probabilities."""
+    labels = np.asarray(labels)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error; ``target`` may be a Tensor or raw numpy array."""
+    target = Tensor.as_tensor(target)
+    diff = prediction - target.detach() if not target.requires_grad else prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    target = Tensor.as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def l2_regularization(params: Iterable[Tensor]) -> Tensor:
+    """Sum of squared parameter values (weight decay / ``Lreg`` in the paper)."""
+    total = None
+    for param in params:
+        term = (param * param).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total
+
+
+def l1_regularization(params: Iterable[Tensor]) -> Tensor:
+    """Sum of absolute parameter values (the sparsity term driving the mask)."""
+    total = None
+    for param in params:
+        term = param.abs().sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total
+
+
+def accuracy(logits: Tensor, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    predictions = np.argmax(logits.data, axis=1)
+    return float(np.mean(predictions == np.asarray(labels)))
+
+
+def top_k_accuracy(logits: Tensor, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k classification accuracy in [0, 1]."""
+    labels = np.asarray(labels)
+    top_k = np.argsort(-logits.data, axis=1)[:, :k]
+    hits = np.any(top_k == labels[:, None], axis=1)
+    return float(np.mean(hits))

@@ -1,0 +1,153 @@
+"""Optimizers and learning-rate schedulers.
+
+The ALF training procedure uses two kinds of optimizers concurrently: the
+task optimizer (SGD with momentum and weight decay, following the base
+CNN's recipe) and one dedicated SGD optimizer per ALF block updating only
+the autoencoder variables.  Both are served by the classes below.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base class: holds a parameter list and a learning rate."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params: List[Tensor] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        self.lr = float(lr)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum, Nesterov and weight decay."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                if self.nesterov:
+                    grad = grad + self.momentum * velocity
+                else:
+                    grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with optional decoupled weight decay."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRScheduler:
+    """Base class for learning-rate schedules attached to an optimizer."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.set_lr(lr)
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` at each listed milestone."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Iterable[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = max(1, t_max)
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + np.cos(np.pi * progress))

@@ -1,0 +1,90 @@
+"""Straight-Through Estimator (STE) primitives.
+
+The ALF training procedure relies on the STE in two places (Eqs. 5 and 6 of
+the paper):
+
+* **Task path** — the convolution uses the autoencoder code ``Wcode``, but
+  the gradient of the task loss with respect to the original filters ``W``
+  must skip the encoder matmul and the Hadamard product with the pruning
+  mask (otherwise zeroed mask entries would block the information flow).
+  :func:`ste_bridge` builds a graph node carrying ``Wcode``'s values whose
+  backward pass hands the incoming gradient to ``W`` unchanged.
+
+* **Autoencoder path** — the pruning mask ``M`` is clipped to exactly zero
+  below a threshold ``t``; the clipping indicator is non-differentiable, so
+  :func:`clip_mask` passes gradients straight through the clip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def ste_bridge(values: np.ndarray, source: Tensor) -> Tensor:
+    """Create a tensor with ``values`` whose gradient flows identically to ``source``.
+
+    ``values`` must have the same shape as ``source``; this realizes
+    ``d values / d source = I`` regardless of how ``values`` were actually
+    computed (Eq. 5 of the paper).
+    """
+    values = np.asarray(values, dtype=source.data.dtype)
+    if values.shape != source.data.shape:
+        raise ValueError(
+            f"STE bridge requires matching shapes, got {values.shape} vs {source.data.shape}"
+        )
+
+    def backward(grad: np.ndarray) -> None:
+        if source.requires_grad:
+            source._accumulate_grad(grad)
+
+    return Tensor._make(values.copy(), (source,), backward)
+
+
+def clip_mask(mask: Tensor, threshold: float) -> Tensor:
+    """Zero out mask entries with magnitude below ``threshold``; STE backward.
+
+    Forward: ``Mprune = 1{|m| > t} * m``.  Backward: identity, so the mask can
+    recover channels that were temporarily clipped (Sec. III-A).
+    """
+    keep = np.abs(mask.data) > threshold
+    values = mask.data * keep
+
+    def backward(grad: np.ndarray) -> None:
+        if mask.requires_grad:
+            mask._accumulate_grad(grad)
+
+    return Tensor._make(values, (mask,), backward)
+
+
+def binary_indicator(mask: Tensor, threshold: float) -> np.ndarray:
+    """Boolean keep/drop decision per mask entry (no gradient)."""
+    return np.abs(mask.data) > threshold
+
+
+def round_ste(x: Tensor) -> Tensor:
+    """Round to the nearest integer with straight-through gradients.
+
+    Not used by the core ALF algorithm but provided for the quantization
+    experiments that the paper describes as orthogonal follow-up work.
+    """
+    values = np.round(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_grad(grad)
+
+    return Tensor._make(values, (x,), backward)
+
+
+def sign_ste(x: Tensor) -> Tensor:
+    """Binarize to {-1, +1} with straight-through gradients (BNN-style)."""
+    values = np.where(x.data >= 0, 1.0, -1.0)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # Clip the gradient to the linear region like Hubara et al. (2016).
+            x._accumulate_grad(grad * (np.abs(x.data) <= 1.0))
+
+    return Tensor._make(values, (x,), backward)

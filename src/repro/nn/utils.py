@@ -1,0 +1,98 @@
+"""Utility helpers shared across the framework: seeding, gradient checking.
+
+The numerical gradient checker is used heavily by the test-suite to verify
+every autograd operation against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+_GLOBAL_SEED = 0
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed numpy's legacy and new RNG APIs; return a fresh Generator."""
+    global _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+    np.random.seed(seed)
+    return np.random.default_rng(seed)
+
+
+def new_rng(offset: int = 0) -> np.random.Generator:
+    """A generator derived from the last global seed (deterministic per offset)."""
+    return np.random.default_rng(_GLOBAL_SEED + offset)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to one-hot matrix ``(N, num_classes)``."""
+    labels = np.asarray(labels)
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def numerical_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-5) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function of ``x``."""
+    grad = np.zeros_like(x, dtype=float)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(x)
+        flat[i] = original - eps
+        lower = fn(x)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(fn: Callable[[Tensor], Tensor], value: np.ndarray,
+                   eps: float = 1e-5, atol: float = 1e-4, rtol: float = 1e-3) -> bool:
+    """Compare autograd and numerical gradients of a scalar-valued ``fn``.
+
+    ``fn`` receives a Tensor built from ``value`` and must return a scalar
+    Tensor.  Raises ``AssertionError`` with a diagnostic if they disagree.
+    """
+    tensor = Tensor(value.copy(), requires_grad=True)
+    out = fn(tensor)
+    out.backward()
+    analytic = tensor.grad.copy()
+
+    def scalar(arr: np.ndarray) -> float:
+        return float(fn(Tensor(arr)).data)
+
+    numeric = numerical_gradient(scalar, value.copy(), eps=eps)
+    if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+        max_err = np.max(np.abs(analytic - numeric))
+        raise AssertionError(
+            f"gradient mismatch: max abs error {max_err:.3e}\n"
+            f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+        )
+    return True
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so that their global L2 norm is at most ``max_norm``."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float(np.sum(param.grad ** 2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm
+
+
+def count_parameters(params: Sequence[Tensor]) -> int:
+    """Total scalar count across a parameter collection."""
+    return int(sum(p.size for p in params))

@@ -1,0 +1,40 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ALFConfig
+from repro.data import DataLoader, make_synthetic_dataset
+from repro.models import lenet
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small, learnable 4-class synthetic dataset."""
+    return make_synthetic_dataset(160, num_classes=4, image_shape=(1, 10, 10), seed=0)
+
+
+@pytest.fixture
+def tiny_loaders(tiny_dataset):
+    train, test = tiny_dataset.split(0.75)
+    return (DataLoader(train, batch_size=24, shuffle=True, seed=0),
+            DataLoader(test, batch_size=64))
+
+
+@pytest.fixture
+def tiny_model(rng):
+    return lenet(num_classes=4, in_channels=1, width=8, rng=rng)
+
+
+@pytest.fixture
+def fast_alf_config():
+    """An ALF configuration that prunes within a handful of optimisation steps."""
+    return ALFConfig(lr_task=0.05, threshold=5e-2, lr_autoencoder=5e-2,
+                     pr_max=0.6, mask_init=0.2)

@@ -1,0 +1,170 @@
+"""Tests for synthetic datasets, loaders and augmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    CIFAR10_IMAGE_SHAPE,
+    DataLoader,
+    SyntheticImageDataset,
+    compose,
+    gaussian_noise,
+    make_synthetic_dataset,
+    random_crop,
+    random_horizontal_flip,
+    standard_cifar_augmentation,
+    synthetic_cifar10,
+    synthetic_imagenet,
+)
+
+
+class TestSyntheticDataset:
+    def test_shapes_and_labels(self):
+        ds = make_synthetic_dataset(60, num_classes=5, image_shape=(3, 16, 16), seed=0)
+        assert ds.images.shape == (60, 3, 16, 16)
+        assert ds.labels.shape == (60,)
+        assert set(np.unique(ds.labels)) <= set(range(5))
+        assert ds.num_classes == 5
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_dataset(20, num_classes=3, image_shape=(1, 8, 8), seed=7)
+        b = make_synthetic_dataset(20, num_classes=3, image_shape=(1, 8, 8), seed=7)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_dataset(20, num_classes=3, image_shape=(1, 8, 8), seed=1)
+        b = make_synthetic_dataset(20, num_classes=3, image_shape=(1, 8, 8), seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_classes_roughly_balanced(self):
+        ds = make_synthetic_dataset(100, num_classes=4, image_shape=(1, 8, 8), seed=0)
+        counts = np.bincount(ds.labels, minlength=4)
+        assert counts.min() >= 20
+
+    def test_classes_are_separable_by_simple_statistic(self):
+        """Class-conditional means should differ far more across classes than noise."""
+        ds = make_synthetic_dataset(200, num_classes=2, image_shape=(1, 12, 12),
+                                    noise_std=0.1, seed=0)
+        means = [ds.images[ds.labels == c].mean(axis=0).ravel() for c in range(2)]
+        between = np.linalg.norm(means[0] - means[1])
+        within = ds.images[ds.labels == 0].std()
+        assert between > within * 0.5
+
+    def test_subset_and_split(self):
+        ds = make_synthetic_dataset(50, num_classes=5, image_shape=(1, 8, 8), seed=0)
+        sub = ds.subset(10)
+        assert len(sub) == 10
+        first, second = ds.split(0.8)
+        assert len(first) == 40 and len(second) == 10
+
+    def test_image_shape_property(self):
+        ds = make_synthetic_dataset(4, num_classes=2, image_shape=(3, 10, 12), seed=0)
+        assert ds.image_shape == (3, 10, 12)
+
+
+class TestCIFARAndImageNetStandIns:
+    def test_cifar_geometry(self):
+        train, test = synthetic_cifar10(train_size=40, test_size=20)
+        assert train.images.shape[1:] == CIFAR10_IMAGE_SHAPE
+        assert train.num_classes == 10
+        assert len(train) == 40 and len(test) == 20
+
+    def test_cifar_train_test_disjoint(self):
+        train, test = synthetic_cifar10(train_size=30, test_size=10, seed=3)
+        assert not np.array_equal(train.images[0], test.images[0])
+
+    def test_imagenet_defaults_reduced(self):
+        train, val = synthetic_imagenet(train_size=30, val_size=10)
+        assert train.images.shape[1:] == (3, 64, 64)
+        assert train.num_classes == 20
+
+
+class TestDataLoader:
+    def _dataset(self, n=50):
+        return make_synthetic_dataset(n, num_classes=5, image_shape=(1, 8, 8), seed=0)
+
+    def test_batch_sizes(self):
+        loader = DataLoader(self._dataset(), batch_size=16)
+        batches = list(loader)
+        assert [len(b[1]) for b in batches] == [16, 16, 16, 2]
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        loader = DataLoader(self._dataset(), batch_size=16, drop_last=True)
+        assert [len(b[1]) for b in loader] == [16, 16, 16]
+        assert len(loader) == 3
+
+    def test_shuffle_changes_order_between_epochs(self):
+        loader = DataLoader(self._dataset(), batch_size=50, shuffle=True, seed=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = self._dataset()
+        loader = DataLoader(ds, batch_size=50, shuffle=False)
+        images, labels = next(iter(loader))
+        assert np.array_equal(labels, ds.labels)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), batch_size=0)
+
+    def test_augmentation_applied(self):
+        calls = []
+
+        def record(images, rng):
+            calls.append(images.shape)
+            return images
+
+        loader = DataLoader(self._dataset(20), batch_size=10, augment=record)
+        list(loader)
+        assert len(calls) == 2
+
+    def test_full_batch(self):
+        ds = self._dataset(20)
+        images, labels = DataLoader(ds, batch_size=4).full_batch()
+        assert images.shape[0] == 20 and labels.shape[0] == 20
+
+
+class TestAugmentation:
+    def test_flip_preserves_shape_and_content_set(self, rng):
+        images = rng.standard_normal((8, 3, 6, 6))
+        flipped = random_horizontal_flip(images, rng, probability=1.0)
+        assert flipped.shape == images.shape
+        assert np.allclose(flipped, images[:, :, :, ::-1])
+
+    def test_flip_probability_zero_is_identity(self, rng):
+        images = rng.standard_normal((4, 1, 5, 5))
+        assert np.array_equal(random_horizontal_flip(images, rng, probability=0.0), images)
+
+    def test_random_crop_shape(self, rng):
+        images = rng.standard_normal((4, 3, 8, 8))
+        cropped = random_crop(images, rng, padding=2)
+        assert cropped.shape == images.shape
+
+    def test_gaussian_noise_changes_values(self, rng):
+        images = np.zeros((2, 1, 4, 4))
+        noisy = gaussian_noise(images, rng, std=0.1)
+        assert not np.array_equal(noisy, images)
+
+    def test_compose_applies_in_order(self, rng):
+        transform = compose(lambda im, r: im + 1.0, lambda im, r: im * 2.0)
+        out = transform(np.zeros((1, 1, 2, 2)), rng)
+        assert np.allclose(out, 2.0)
+
+    def test_standard_cifar_augmentation_callable(self, rng):
+        transform = standard_cifar_augmentation()
+        images = rng.standard_normal((4, 3, 8, 8))
+        assert transform(images, rng).shape == images.shape
+
+
+@given(st.integers(4, 40), st.integers(2, 6), st.integers(1, 64))
+@settings(max_examples=20, deadline=None)
+def test_dataset_size_and_label_range_property(samples, classes, seed):
+    ds = make_synthetic_dataset(samples, num_classes=classes, image_shape=(1, 6, 6), seed=seed)
+    assert len(ds) == samples
+    assert ds.labels.min() >= 0 and ds.labels.max() < classes
+    assert np.all(np.isfinite(ds.images))

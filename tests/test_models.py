@@ -1,0 +1,158 @@
+"""Tests for the model zoo: shapes, depths, registry, paper cost numbers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import profile_model
+from repro.models import (
+    available_models,
+    build_model,
+    default_input_shape,
+    googlenet,
+    lenet,
+    plain8,
+    plain20,
+    plain_layer_names,
+    resnet8,
+    resnet18,
+    resnet20,
+    squeezenet,
+)
+from repro.nn import Tensor
+
+
+class TestCIFARModels:
+    def test_plain20_depth(self, rng):
+        assert plain20(rng=rng).depth == 20
+
+    def test_resnet20_depth(self, rng):
+        assert resnet20(rng=rng).depth == 20
+
+    def test_plain20_forward_shape(self, rng):
+        model = plain8(rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_resnet_forward_shape(self, rng):
+        model = resnet8(rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_plain20_has_19_convolutions(self, rng):
+        profile = profile_model(plain20(rng=rng), (3, 32, 32))
+        conv_layers = [l for l in profile.layers if l.kind == "conv"]
+        assert len(conv_layers) == 19
+
+    def test_resnet20_spatial_downsampling(self, rng):
+        model = resnet8(rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 32, 32))))
+        assert out.shape == (1, 10)
+
+    def test_layer_names_match_paper_figure(self):
+        names = plain_layer_names()
+        assert names[0] == "CONV1"
+        assert names[1] == "CONV211"
+        assert names[-1] == "CONV432"
+        assert len(names) == 19
+        assert "CONV312" in names
+
+    def test_num_classes_configurable(self, rng):
+        model = plain8(num_classes=7, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 16, 16))))
+        assert out.shape == (1, 7)
+
+
+class TestPaperCostNumbers:
+    """Params / OPs of the architectures must match the paper's Table II / III."""
+
+    def test_plain20_cifar_costs(self, rng):
+        profile = profile_model(plain20(rng=rng), (3, 32, 32))
+        assert profile.total_params(conv_only=True) / 1e6 == pytest.approx(0.27, abs=0.01)
+        assert profile.total_ops(conv_only=True) / 1e6 == pytest.approx(81.1, rel=0.02)
+
+    def test_resnet20_cifar_costs(self, rng):
+        profile = profile_model(resnet20(rng=rng), (3, 32, 32))
+        assert profile.total_params(conv_only=True) / 1e6 == pytest.approx(0.27, abs=0.01)
+        assert profile.total_ops(conv_only=True) / 1e6 == pytest.approx(81.1, rel=0.05)
+
+    @pytest.mark.slow
+    def test_resnet18_imagenet_costs(self, rng):
+        profile = profile_model(resnet18(rng=rng), (3, 224, 224))
+        assert profile.total_params() / 1e6 == pytest.approx(11.83, rel=0.05)
+        assert profile.total_ops() / 1e6 == pytest.approx(3743, rel=0.05)
+
+    @pytest.mark.slow
+    def test_squeezenet_imagenet_costs(self, rng):
+        profile = profile_model(squeezenet(rng=rng), (3, 224, 224))
+        assert profile.total_params() / 1e6 == pytest.approx(1.23, rel=0.05)
+        assert profile.total_ops() / 1e6 == pytest.approx(1722, rel=0.05)
+
+    @pytest.mark.slow
+    def test_googlenet_imagenet_costs(self, rng):
+        profile = profile_model(googlenet(rng=rng), (3, 224, 224))
+        assert profile.total_params() / 1e6 == pytest.approx(6.8, rel=0.05)
+        assert profile.total_ops() / 1e6 == pytest.approx(3004, rel=0.06)
+
+
+class TestImageNetModels:
+    def test_resnet18_forward_small_input(self, rng):
+        model = resnet18(num_classes=5, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 64, 64))))
+        assert out.shape == (1, 5)
+
+    def test_squeezenet_forward_small_input(self, rng):
+        model = squeezenet(num_classes=5, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 64, 64))))
+        assert out.shape == (1, 5)
+
+    def test_googlenet_forward_small_input(self, rng):
+        model = googlenet(num_classes=5, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 64, 64))))
+        assert out.shape == (1, 5)
+
+    def test_fire_module_channel_count(self, rng):
+        from repro.models.squeezenet import FireModule
+        fire = FireModule(8, 4, 8, 8, rng=rng)
+        out = fire(Tensor(rng.standard_normal((1, 8, 6, 6))))
+        assert out.shape == (1, 16, 6, 6)
+
+    def test_inception_module_channel_count(self, rng):
+        from repro.models.googlenet import InceptionModule
+        module = InceptionModule(16, 4, 4, 8, 2, 4, 4, rng=rng)
+        out = module(Tensor(rng.standard_normal((1, 16, 8, 8))))
+        assert out.shape == (1, 20, 8, 8)
+
+
+class TestRegistry:
+    def test_available_models_contains_paper_architectures(self):
+        names = available_models()
+        for expected in ("plain20", "resnet20", "resnet18", "squeezenet", "googlenet"):
+            assert expected in names
+
+    def test_build_model_by_name(self, rng):
+        model = build_model("lenet", num_classes=3, rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 1, 12, 12))))
+        assert out.shape == (1, 3)
+
+    def test_build_model_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_model("vgg-1000")
+
+    def test_default_input_shapes(self):
+        assert default_input_shape("plain20") == (3, 32, 32)
+        assert default_input_shape("resnet18") == (3, 224, 224)
+        with pytest.raises(KeyError):
+            default_input_shape("unknown")
+
+    def test_models_are_trainable(self, rng):
+        """Every registry model produces finite gradients on a tiny input."""
+        from repro.nn.loss import cross_entropy
+        for name in ("lenet", "plain8", "resnet8"):
+            model = build_model(name, num_classes=3, rng=rng,
+                                in_channels=1 if name == "lenet" else 3)
+            channels = 1 if name == "lenet" else 3
+            x = Tensor(rng.standard_normal((2, channels, 16, 16)))
+            loss = cross_entropy(model(x), np.array([0, 1]))
+            loss.backward()
+            grads = [p.grad for p in model.parameters() if p.grad is not None]
+            assert grads and all(np.all(np.isfinite(g)) for g in grads)

@@ -1,0 +1,215 @@
+"""Unit tests for functional ops: conv, pooling, batch norm, softmax heads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.utils import check_gradient
+
+
+def reference_conv2d(x, w, stride, padding):
+    """Direct (slow) convolution used as ground truth for the im2col path."""
+    n, ci, h, wdt = x.shape
+    co, _, kh, kw = w.shape
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (wdt + 2 * padding - kw) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, co, oh, ow))
+    for b in range(n):
+        for o in range(co):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[b, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[b, o, i, j] = np.sum(patch * w[o])
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_reference(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 7, 7))
+        w = rng.standard_normal((4, 3, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        assert np.allclose(out.data, reference_conv2d(x, w, stride, padding), atol=1e-10)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.standard_normal((1, 1, 4, 4))
+        w = np.zeros((2, 1, 1, 1))
+        bias = np.array([1.5, -2.0])
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(bias))
+        assert np.allclose(out.data[0, 0], 1.5)
+        assert np.allclose(out.data[0, 1], -2.0)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.standard_normal((1, 3, 5, 5))),
+                     Tensor(rng.standard_normal((4, 2, 3, 3))))
+
+    def test_gradient_wrt_input(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        check_gradient(lambda t: F.conv2d(t, Tensor(w), stride=1, padding=1).sum(),
+                       rng.standard_normal((1, 2, 5, 5)))
+
+    def test_gradient_wrt_weight(self, rng):
+        x = rng.standard_normal((2, 2, 5, 5))
+        check_gradient(lambda t: F.conv2d(Tensor(x), t, stride=2, padding=1).sum(),
+                       rng.standard_normal((3, 2, 3, 3)))
+
+    def test_gradient_wrt_bias(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        w = rng.standard_normal((3, 2, 3, 3))
+        check_gradient(lambda t: F.conv2d(Tensor(x), Tensor(w), t, padding=1).sum(),
+                       rng.standard_normal((3,)))
+
+    def test_output_size_formula(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(224, 7, 2, 3) == 112
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_gradient(self, rng):
+        check_gradient(lambda t: F.max_pool2d(t, 2).sum(), rng.standard_normal((2, 2, 6, 6)))
+
+    def test_avg_pool_gradient(self, rng):
+        check_gradient(lambda t: F.avg_pool2d(t, 2).sum(), rng.standard_normal((2, 2, 6, 6)))
+
+    def test_strided_max_pool_shape(self, rng):
+        out = F.max_pool2d(Tensor(rng.standard_normal((1, 1, 7, 7))), 3, stride=2)
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, x.mean(axis=(2, 3)))
+
+
+class TestDenseAndNorm:
+    def test_linear_matches_numpy(self, rng):
+        x = rng.standard_normal((4, 5))
+        w = rng.standard_normal((3, 5))
+        b = rng.standard_normal(3)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out.data, x @ w.T + b)
+
+    def test_batch_norm_normalizes_training(self, rng):
+        x = rng.standard_normal((8, 3, 4, 4)) * 5 + 2
+        gamma = Tensor(np.ones(3), requires_grad=True)
+        beta = Tensor(np.zeros(3), requires_grad=True)
+        running_mean = np.zeros(3)
+        running_var = np.ones(3)
+        out = F.batch_norm(Tensor(x), gamma, beta, running_mean, running_var, training=True)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_batch_norm_updates_running_stats(self, rng):
+        x = rng.standard_normal((8, 3, 4, 4)) + 4.0
+        running_mean = np.zeros(3)
+        running_var = np.ones(3)
+        F.batch_norm(Tensor(x), Tensor(np.ones(3)), Tensor(np.zeros(3)),
+                     running_mean, running_var, training=True, momentum=1.0)
+        assert np.allclose(running_mean, x.mean(axis=(0, 2, 3)), atol=1e-7)
+
+    def test_batch_norm_eval_uses_running_stats(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3))
+        running_mean = np.array([1.0, -1.0])
+        running_var = np.array([4.0, 0.25])
+        out = F.batch_norm(Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)),
+                           running_mean, running_var, training=False)
+        expected = (x - running_mean.reshape(1, 2, 1, 1)) / np.sqrt(
+            running_var.reshape(1, 2, 1, 1) + 1e-5)
+        assert np.allclose(out.data, expected)
+
+    def test_batch_norm_2d_input(self, rng):
+        x = rng.standard_normal((16, 5))
+        out = F.batch_norm(Tensor(x), Tensor(np.ones(5)), Tensor(np.zeros(5)),
+                           np.zeros(5), np.ones(5), training=True)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_batch_norm_rejects_3d(self, rng):
+        with pytest.raises(ValueError):
+            F.batch_norm(Tensor(rng.standard_normal((2, 3, 4))), Tensor(np.ones(3)),
+                         Tensor(np.zeros(3)), np.zeros(3), np.ones(3), training=True)
+
+    def test_dropout_identity_in_eval(self, rng):
+        x = rng.standard_normal((4, 4))
+        out = F.dropout(Tensor(x), p=0.5, training=False)
+        assert np.array_equal(out.data, x)
+
+    def test_dropout_scales_surviving_activations(self, rng):
+        x = np.ones((1000,))
+        out = F.dropout(Tensor(x), p=0.4, training=True, rng=np.random.default_rng(0))
+        surviving = out.data[out.data > 0]
+        assert np.allclose(surviving, 1.0 / 0.6)
+
+
+class TestSoftmaxHeads:
+    def test_softmax_sums_to_one(self, rng):
+        out = F.softmax(Tensor(rng.standard_normal((5, 7))), axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_log_softmax_consistent_with_softmax(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        assert np.allclose(F.log_softmax(x, axis=1).data, np.log(F.softmax(x, axis=1).data))
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5))
+        a = F.softmax(Tensor(x), axis=1).data
+        b = F.softmax(Tensor(x + 100.0), axis=1).data
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_log_softmax_gradient(self, rng):
+        check_gradient(lambda t: F.log_softmax(t, axis=1)[np.arange(3), [0, 1, 2]].sum(),
+                       rng.standard_normal((3, 4)))
+
+    def test_get_activation_lookup(self):
+        assert F.get_activation("relu") is F.relu
+        assert F.get_activation(None) is F.identity
+        assert F.get_activation("NONE") is F.identity
+        with pytest.raises(KeyError):
+            F.get_activation("swish")
+
+
+# --------------------------------------------------------------------------- #
+# Property-based: im2col / col2im round trips and conv shape algebra
+# --------------------------------------------------------------------------- #
+@given(
+    h=st.integers(3, 10), w=st.integers(3, 10),
+    k=st.integers(1, 3), stride=st.integers(1, 2), padding=st.integers(0, 2),
+)
+@settings(max_examples=40, deadline=None)
+def test_conv_output_shape_property(h, w, k, stride, padding):
+    if h + 2 * padding < k or w + 2 * padding < k:
+        return
+    x = np.zeros((1, 1, h, w))
+    wgt = np.zeros((1, 1, k, k))
+    out = F.conv2d(Tensor(x), Tensor(wgt), stride=stride, padding=padding)
+    assert out.shape[2] == F.conv_output_size(h, k, stride, padding)
+    assert out.shape[3] == F.conv_output_size(w, k, stride, padding)
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_im2col_col2im_adjoint(kh_extent, seed):
+    """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((1, 2, kh_extent + 3, kh_extent + 3))
+    kernel, stride, padding = (3, 3), (1, 1), (1, 1)
+    cols, out_hw = F.im2col(x, kernel, stride, padding)
+    y = rng.standard_normal(cols.shape)
+    lhs = float(np.sum(cols * y))
+    rhs = float(np.sum(x * F.col2im(y, x.shape, kernel, stride, padding, out_hw)))
+    assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,365 @@
+"""Unit tests for the Module system, layers, initializers, optimizers, losses, STE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BatchNorm2d,
+    Conv2d,
+    CosineAnnealingLR,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ModuleList,
+    MultiStepLR,
+    Parameter,
+    ReLU,
+    Sequential,
+    StepLR,
+    Tensor,
+    activation_module,
+)
+from repro.nn import init as init_mod
+from repro.nn import loss as loss_mod
+from repro.nn import ste
+from repro.nn.utils import check_gradient, clip_grad_norm, count_parameters, one_hot, seed_everything
+
+
+class TestModuleSystem:
+    def test_parameters_discovered_recursively(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        names = [name for name, _ in model.named_parameters()]
+        assert any("layer0.weight" in n for n in names)
+        assert any("layer2.weight" in n for n in names)
+        assert len(model.parameters()) == 4  # conv w/b + linear w/b
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, rng=rng), BatchNorm2d(2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_round_trip(self, rng):
+        a = Sequential(Conv2d(1, 2, 3, rng=rng), BatchNorm2d(2), Linear(8, 3, rng=rng))
+        b = Sequential(Conv2d(1, 2, 3, rng=np.random.default_rng(9)), BatchNorm2d(2),
+                       Linear(8, 3, rng=np.random.default_rng(9)))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        a = Linear(3, 2, rng=rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_num_parameters(self, rng):
+        layer = Linear(10, 5, rng=rng)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_sequential_iteration_and_indexing(self, rng):
+        relu = ReLU()
+        model = Sequential(Linear(2, 2, rng=rng), relu)
+        assert len(model) == 2
+        assert model[1] is relu
+        assert list(iter(model))[1] is relu
+
+    def test_module_list_is_not_callable(self):
+        container = ModuleList([ReLU()])
+        with pytest.raises(RuntimeError):
+            container(Tensor([1.0]))
+
+    def test_module_list_registers_children(self, rng):
+        container = ModuleList([Linear(2, 2, rng=rng), Linear(2, 2, rng=rng)])
+        assert len(container.parameters()) == 4
+
+
+class TestLayers:
+    def test_conv_output_shape_helper(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        assert conv.output_shape((32, 32)) == (16, 16)
+
+    def test_conv_forward_shape(self, rng):
+        conv = Conv2d(3, 8, 3, padding=1, rng=rng)
+        out = conv(Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_conv_no_bias(self, rng):
+        conv = Conv2d(3, 8, 3, bias=False, rng=rng)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_linear_forward(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        assert layer(Tensor(rng.standard_normal((3, 6)))).shape == (3, 4)
+
+    def test_batchnorm_buffers_registered(self):
+        bn = BatchNorm2d(4)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert "running_mean" in buffer_names and "running_var" in buffer_names
+
+    def test_batchnorm_eval_deterministic(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        bn(x)  # one training pass updates the stats
+        bn.eval()
+        a = bn(x).data
+        b = bn(x).data
+        assert np.array_equal(a, b)
+
+    def test_flatten_and_global_pool(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)))
+        assert Flatten()(x).shape == (2, 48)
+        assert GlobalAvgPool2d()(x).shape == (2, 3)
+
+    def test_activation_module_lookup(self):
+        assert isinstance(activation_module("relu"), ReLU)
+        assert activation_module(None)(Tensor([1.0])).data[0] == 1.0
+        with pytest.raises(KeyError):
+            activation_module("mish")
+
+
+class TestInitializers:
+    @pytest.mark.parametrize("name", ["he", "he_uniform", "xavier", "xavier_uniform", "rand"])
+    def test_shapes_and_determinism(self, name):
+        init = init_mod.get_initializer(name)
+        a = init((64, 32, 3, 3), rng=np.random.default_rng(0))
+        b = init((64, 32, 3, 3), rng=np.random.default_rng(0))
+        assert a.shape == (64, 32, 3, 3)
+        assert np.array_equal(a, b)
+
+    def test_he_variance_scales_with_fan_in(self):
+        rng = np.random.default_rng(0)
+        w = init_mod.he_normal((256, 128, 3, 3), rng=rng)
+        expected_std = np.sqrt(2.0 / (128 * 9))
+        assert np.std(w) == pytest.approx(expected_std, rel=0.05)
+
+    def test_xavier_variance(self):
+        rng = np.random.default_rng(0)
+        w = init_mod.xavier_normal((400, 300), rng=rng)
+        expected_std = np.sqrt(2.0 / (400 + 300))
+        assert np.std(w) == pytest.approx(expected_std, rel=0.05)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            init_mod.get_initializer("glorot-ish")
+
+    def test_zeros_ones(self):
+        assert np.all(init_mod.zeros((3, 3)) == 0)
+        assert np.all(init_mod.ones((3, 3)) == 1)
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer_factory, steps=60):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = optimizer_factory([param])
+        for _ in range(steps):
+            loss = (param * param).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return param.data
+
+    def test_sgd_converges_on_quadratic(self):
+        final = self._quadratic_step(lambda p: SGD(p, lr=0.1))
+        assert np.all(np.abs(final) < 1e-3)
+
+    def test_sgd_momentum_converges(self):
+        final = self._quadratic_step(lambda p: SGD(p, lr=0.05, momentum=0.9), steps=200)
+        assert np.all(np.abs(final) < 1e-2)
+
+    def test_adam_converges(self):
+        final = self._quadratic_step(lambda p: Adam(p, lr=0.2), steps=200)
+        assert np.all(np.abs(final) < 1e-2)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert param.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_step_skips_parameters_without_grad(self):
+        param = Parameter(np.array([2.0]))
+        SGD([param], lr=0.1).step()
+        assert param.data[0] == 2.0
+
+    def test_step_lr_schedule(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep_lr(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.5)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_lr_endpoints(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10)
+        assert scheduler.get_lr(0) == pytest.approx(1.0)
+        assert scheduler.get_lr(10) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLosses:
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = loss_mod.cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.full((2, 3), -100.0)
+        logits[np.arange(2), [0, 2]] = 100.0
+        loss = loss_mod.cross_entropy(Tensor(logits), np.array([0, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient(self, rng):
+        labels = np.array([0, 1, 2])
+        check_gradient(lambda t: loss_mod.cross_entropy(t, labels), rng.standard_normal((3, 4)))
+
+    def test_cross_entropy_rejects_2d_labels(self, rng):
+        with pytest.raises(ValueError):
+            loss_mod.cross_entropy(Tensor(rng.standard_normal((2, 3))), np.zeros((2, 3)))
+
+    def test_mse_loss(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3))
+        loss = loss_mod.mse_loss(Tensor(a), Tensor(b))
+        assert loss.item() == pytest.approx(np.mean((a - b) ** 2))
+
+    def test_l2_regularization(self, rng):
+        params = [Parameter(rng.standard_normal(4)), Parameter(rng.standard_normal((2, 2)))]
+        expected = sum(float(np.sum(p.data ** 2)) for p in params)
+        assert loss_mod.l2_regularization(params).item() == pytest.approx(expected)
+
+    def test_l1_regularization(self, rng):
+        params = [Parameter(rng.standard_normal(4))]
+        assert loss_mod.l1_regularization(params).item() == pytest.approx(
+            float(np.sum(np.abs(params[0].data))))
+
+    def test_empty_regularization_is_zero(self):
+        assert loss_mod.l2_regularization([]).item() == 0.0
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[2.0, 1.0], [0.0, 3.0], [1.0, 0.0]]))
+        assert loss_mod.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_top_k_accuracy(self):
+        logits = Tensor(np.array([[5.0, 4.0, 0.0], [0.0, 1.0, 5.0]]))
+        assert loss_mod.top_k_accuracy(logits, np.array([1, 0]), k=2) == pytest.approx(0.5)
+
+
+class TestSTE:
+    def test_ste_bridge_forwards_values_and_routes_grad(self, rng):
+        source = Parameter(rng.standard_normal((2, 3)))
+        values = rng.standard_normal((2, 3))
+        bridged = ste.ste_bridge(values, source)
+        assert np.allclose(bridged.data, values)
+        (bridged * 2.0).sum().backward()
+        assert np.allclose(source.grad, 2.0)
+
+    def test_ste_bridge_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ste.ste_bridge(rng.standard_normal((2, 2)), Parameter(rng.standard_normal((3, 3))))
+
+    def test_clip_mask_zeroes_below_threshold(self):
+        mask = Parameter(np.array([0.5, 1e-5, -1e-5, -0.5]))
+        clipped = ste.clip_mask(mask, 1e-4)
+        assert np.allclose(clipped.data, [0.5, 0.0, 0.0, -0.5])
+
+    def test_clip_mask_straight_through_gradient(self):
+        mask = Parameter(np.array([0.5, 1e-6]))
+        ste.clip_mask(mask, 1e-4).sum().backward()
+        assert np.allclose(mask.grad, [1.0, 1.0])
+
+    def test_binary_indicator(self):
+        mask = Parameter(np.array([0.2, 0.0, -0.3]))
+        assert list(ste.binary_indicator(mask, 0.1)) == [True, False, True]
+
+    def test_round_ste(self):
+        x = Parameter(np.array([0.4, 1.6]))
+        out = ste.round_ste(x)
+        assert np.allclose(out.data, [0.0, 2.0])
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_sign_ste_gradient_clipped(self):
+        x = Parameter(np.array([0.5, 2.0, -0.5]))
+        ste.sign_ste(x).sum().backward()
+        assert np.allclose(x.grad, [1.0, 0.0, 1.0])
+
+
+class TestUtils:
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert np.array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_seed_everything_reproducible(self):
+        a = seed_everything(3).standard_normal(5)
+        b = seed_everything(3).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_count_parameters(self, rng):
+        assert count_parameters([Parameter(np.zeros((2, 3))), Parameter(np.zeros(4))]) == 10
+
+    def test_check_gradient_detects_wrong_gradient(self):
+        def bad_fn(t):
+            # The value depends on t (numeric gradient is 1) but the graph only
+            # sees the zero-weighted term (analytic gradient is 0).
+            return t.detach().sum() + (t * 0.0).sum()
+
+        with pytest.raises(AssertionError):
+            check_gradient(bad_fn, np.array([[1.0, 2.0]]))
+
+
+# --------------------------------------------------------------------------- #
+# Property-based: optimizer and initializer invariants
+# --------------------------------------------------------------------------- #
+@given(st.floats(0.01, 0.5), st.integers(1, 30))
+@settings(max_examples=20, deadline=None)
+def test_sgd_descends_convex_loss(lr, steps):
+    param = Parameter(np.array([2.0]))
+    optimizer = SGD([param], lr=lr)
+    previous = float(param.data[0] ** 2)
+    for _ in range(steps):
+        loss = (param * param).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    assert float(param.data[0] ** 2) <= previous + 1e-12
+
+
+@given(st.sampled_from(["he", "xavier", "rand"]), st.integers(1, 64), st.integers(1, 64))
+@settings(max_examples=25, deadline=None)
+def test_initializers_zero_mean(name, fan_out, fan_in):
+    w = init_mod.get_initializer(name)((fan_out, fan_in), rng=np.random.default_rng(0))
+    assert abs(float(np.mean(w))) < 0.5

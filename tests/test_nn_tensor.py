@@ -1,0 +1,244 @@
+"""Unit tests for the autograd Tensor: arithmetic, reductions, shape ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, concatenate, stack
+from repro.nn.tensor import unbroadcast
+from repro.nn.utils import check_gradient
+
+
+class TestBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype.kind == "f"
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor(np.arange(6).reshape(2, 3))
+        assert t.dtype.kind == "f"
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_detach_shares_data_but_drops_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, t.data)
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_backward_requires_grad_error(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_gradient(lambda t: (t + 3.0).sum(), rng.standard_normal((3, 4)))
+
+    def test_mul(self, rng):
+        other = rng.standard_normal((3, 4))
+        check_gradient(lambda t: (t * Tensor(other)).sum(), rng.standard_normal((3, 4)))
+
+    def test_sub_and_neg(self, rng):
+        check_gradient(lambda t: (5.0 - t).sum(), rng.standard_normal((2, 3)))
+
+    def test_div(self, rng):
+        denom = rng.standard_normal((2, 3)) + 3.0
+        check_gradient(lambda t: (t / Tensor(denom)).sum(), rng.standard_normal((2, 3)))
+
+    def test_div_wrt_denominator(self, rng):
+        numer = rng.standard_normal((2, 3))
+        check_gradient(lambda t: (Tensor(numer) / t).sum(), rng.standard_normal((2, 3)) + 3.0)
+
+    def test_pow(self, rng):
+        check_gradient(lambda t: (t ** 3).sum(), rng.standard_normal((3,)) + 2.0)
+
+    def test_matmul(self, rng):
+        other = rng.standard_normal((4, 5))
+        check_gradient(lambda t: (t @ Tensor(other)).sum(), rng.standard_normal((3, 4)))
+
+    def test_matmul_wrt_rhs(self, rng):
+        lhs = rng.standard_normal((3, 4))
+        check_gradient(lambda t: (Tensor(lhs) @ t).sum(), rng.standard_normal((4, 5)))
+
+    def test_broadcast_add_gradient(self, rng):
+        other = rng.standard_normal((1, 4))
+        check_gradient(lambda t: (t + Tensor(other)).sum(), rng.standard_normal((3, 4)))
+        wide = rng.standard_normal((3, 4))
+        check_gradient(lambda t: (Tensor(wide) + t).sum(), rng.standard_normal((1, 4)))
+
+    def test_gradient_accumulates_when_reused(self):
+        t = Tensor([2.0], requires_grad=True)
+        out = t * 3.0 + t * 4.0
+        out.sum().backward()
+        assert t.grad[0] == pytest.approx(7.0)
+
+
+class TestElementwiseGradients:
+    def test_exp(self, rng):
+        check_gradient(lambda t: t.exp().sum(), rng.standard_normal((3, 3)))
+
+    def test_log(self, rng):
+        check_gradient(lambda t: t.log().sum(), rng.random((3, 3)) + 0.5)
+
+    def test_tanh(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), rng.standard_normal((3, 3)))
+
+    def test_sigmoid(self, rng):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.standard_normal((3, 3)))
+
+    def test_relu(self, rng):
+        check_gradient(lambda t: t.relu().sum(), rng.standard_normal((3, 3)) + 0.1)
+
+    def test_abs(self, rng):
+        check_gradient(lambda t: t.abs().sum(), rng.standard_normal((3, 3)) + 0.5)
+
+    def test_sqrt(self, rng):
+        check_gradient(lambda t: t.sqrt().sum(), rng.random((3,)) + 0.5)
+
+    def test_clip_passes_gradient_inside_interval(self):
+        t = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum(self, rng):
+        other = rng.standard_normal((4,))
+        check_gradient(lambda t: t.maximum(Tensor(other)).sum(),
+                       rng.standard_normal((4,)) + 1.0)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        check_gradient(lambda t: t.sum(axis=1).sum(), rng.standard_normal((3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        check_gradient(lambda t: t.sum(axis=0, keepdims=True).sum(), rng.standard_normal((3, 4)))
+
+    def test_mean(self, rng):
+        check_gradient(lambda t: t.mean().sum(), rng.standard_normal((3, 4)))
+
+    def test_mean_axis_tuple(self, rng):
+        check_gradient(lambda t: t.mean(axis=(0, 1)).sum(), rng.standard_normal((2, 3, 4)))
+
+    def test_max_gradient_routes_to_argmax(self):
+        t = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_var_matches_numpy(self, rng):
+        data = rng.standard_normal((4, 5))
+        assert Tensor(data).var().item() == pytest.approx(np.var(data))
+
+    def test_reshape(self, rng):
+        check_gradient(lambda t: t.reshape(6, 2).sum(), rng.standard_normal((3, 4)))
+
+    def test_flatten(self, rng):
+        t = Tensor(rng.standard_normal((2, 3, 4)))
+        assert t.flatten(start_dim=1).shape == (2, 12)
+
+    def test_transpose(self, rng):
+        check_gradient(lambda t: t.transpose(1, 0).sum() * 2.0, rng.standard_normal((3, 4)))
+
+    def test_transpose_default_reverses(self, rng):
+        t = Tensor(rng.standard_normal((2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+
+    def test_getitem_gradient(self, rng):
+        check_gradient(lambda t: t[1:3].sum(), rng.standard_normal((5, 2)))
+
+    def test_fancy_index_gradient(self):
+        t = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 2, 3])
+        t[rows, cols].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[rows, cols] = 1.0
+        assert np.allclose(t.grad, expected)
+
+    def test_pad2d(self, rng):
+        check_gradient(lambda t: t.pad2d(1).sum() * 1.5, rng.standard_normal((1, 2, 3, 3)))
+
+    def test_concatenate(self, rng):
+        a = rng.standard_normal((2, 3))
+        check_gradient(lambda t: concatenate([t, Tensor(a)], axis=0).sum(),
+                       rng.standard_normal((2, 3)))
+
+    def test_stack(self, rng):
+        a = rng.standard_normal((2, 3))
+        check_gradient(lambda t: stack([t, Tensor(a)], axis=0).sum(),
+                       rng.standard_normal((2, 3)))
+
+
+class TestUnbroadcast:
+    def test_no_op_when_shapes_match(self, rng):
+        g = rng.standard_normal((3, 4))
+        assert np.array_equal(unbroadcast(g, (3, 4)), g)
+
+    def test_sums_leading_dims(self, rng):
+        g = rng.standard_normal((5, 3, 4))
+        assert unbroadcast(g, (3, 4)).shape == (3, 4)
+
+    def test_sums_size_one_dims(self, rng):
+        g = rng.standard_normal((3, 4))
+        out = unbroadcast(g, (1, 4))
+        assert out.shape == (1, 4)
+        assert np.allclose(out, g.sum(axis=0, keepdims=True))
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------------- #
+@st.composite
+def small_arrays(draw, max_side=4):
+    rows = draw(st.integers(1, max_side))
+    cols = draw(st.integers(1, max_side))
+    values = draw(st.lists(st.floats(-5, 5, allow_nan=False),
+                           min_size=rows * cols, max_size=rows * cols))
+    return np.array(values).reshape(rows, cols)
+
+
+@given(small_arrays(), small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_addition_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    assert np.allclose(left, right)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_sum_linear_in_scaling(a):
+    scaled = (Tensor(a) * 3.0).sum().item()
+    assert scaled == pytest.approx(3.0 * Tensor(a).sum().item(), rel=1e-9, abs=1e-9)
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_backward_of_sum_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, np.ones_like(a))
+
+
+@given(small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_relu_idempotent(a):
+    t = Tensor(a)
+    once = t.relu().data
+    twice = t.relu().relu().data
+    assert np.allclose(once, twice)
