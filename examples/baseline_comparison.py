@@ -1,76 +1,41 @@
 #!/usr/bin/env python
-"""Compare every compression baseline against ALF on the same model.
+"""Compare every compression method on the same model with one sweep call.
 
-Applies magnitude pruning, FPGM, the AMC-style agent, LCNN dictionary
-sharing and SVD low-rank decomposition to a ResNet-20 and reports the
-effective Params / OPs of each, next to the ALF-compressed block structure —
-the Table II / Table III comparison machinery in one script.
+``repro.api.run_sweep()`` evaluates the full Table II method set — magnitude
+pruning, FPGM, the AMC-style agent, LCNN dictionary sharing, SVD low-rank
+decomposition and ALF — on a shared ResNet-20 at CIFAR-10 geometry, with the
+dense profile and the Eyeriss hardware evaluation computed once.
 
-Run:  python examples/baseline_comparison.py
+Run:  python examples/baseline_comparison.py [--no-hardware]
 """
 
-import numpy as np
+import argparse
 
-from repro.baselines import (
-    AMCPruner,
-    FPGMPruner,
-    LCNNCompressor,
-    LowRankDecomposer,
-    MagnitudePruner,
-    effective_cost,
-)
-from repro.experiments import cifar_comparison
-from repro.metrics import MethodResult, format_count, pareto_front, profile_model, render_table
-from repro.models import resnet20
+import repro.api as api
+from repro.metrics import format_count
 
 
 def main():
-    input_shape = (3, 32, 32)
-    rows = []
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--no-hardware", action="store_true",
+                        help="skip the Eyeriss energy/latency stage")
+    args = parser.parse_args()
 
-    baseline_model = resnet20(rng=np.random.default_rng(0))
-    baseline = profile_model(baseline_model, input_shape)
-    rows.append(("ResNet-20 (dense)", "—",
-                 baseline.total_params(conv_only=True), baseline.total_ops(conv_only=True)))
+    sweep = api.run_sweep(hardware=None if args.no_hardware else api.EYERISS_PAPER)
+    print(sweep.render(title="Compression methods on ResNet-20 @ CIFAR-10 geometry"))
 
-    for pruner, ratio in [(MagnitudePruner(), 0.5), (FPGMPruner(), 0.3)]:
-        model = resnet20(rng=np.random.default_rng(0))
-        plan = pruner.plan(model, prune_ratio=ratio)
-        cost = effective_cost(model, plan, input_shape, conv_only=True)
-        rows.append((f"{pruner.method_name} (ratio {ratio})", pruner.policy,
-                     cost["params"], cost["ops"]))
+    cheapest = min(sweep.reports, key=lambda r: r.cost["ops"])
+    print(f"\nFewest operations: {cheapest.spec.display_label} "
+          f"({format_count(cheapest.cost['ops'])} OPs, "
+          f"{cheapest.ops_reduction:.0%} below the dense baseline)")
 
-    model = resnet20(rng=np.random.default_rng(0))
-    amc = AMCPruner(target_ops_fraction=0.49, iterations=4, population=8, seed=0)
-    plan = amc.plan(model, prune_ratio=0.51)
-    cost = effective_cost(model, plan, input_shape, conv_only=True)
-    rows.append(("AMC (OPs budget 49%)", amc.policy, cost["params"], cost["ops"]))
+    front = {r.method for r in sweep.pareto()}
+    print(f"Pareto front over (params, OPs): {', '.join(sorted(front))}")
 
-    model = resnet20(rng=np.random.default_rng(0))
-    lcnn = LCNNCompressor(dictionary_fraction=0.25, sparsity=3, seed=0)
-    cost = lcnn.effective_cost(model, lcnn.compress(model), input_shape, conv_only=True)
-    rows.append(("LCNN (dict 25%)", lcnn.policy, cost["params"], cost["ops"]))
-
-    model = resnet20(rng=np.random.default_rng(0))
-    lowrank = LowRankDecomposer(rank_fraction=0.4)
-    cost = lowrank.effective_cost(model, lowrank.decompose(model), input_shape, conv_only=True)
-    rows.append(("Low-rank SVD (rank 40%)", lowrank.policy, cost["params"], cost["ops"]))
-
-    alf = cifar_comparison.alf_compressed_cost()
-    rows.append(("ALF (stage-wise pruning)", "Automatic", alf["params"], alf["ops"]))
-
-    print(render_table(
-        ["Method", "Policy", "Params (conv)", "OPs (conv)"],
-        [[name, policy, format_count(params), format_count(ops)]
-         for name, policy, params, ops in rows],
-        title="Compression baselines on ResNet-20 @ CIFAR-10 geometry"))
-
-    results = [MethodResult(name, policy, params, ops, accuracy=0.0)
-               for name, policy, params, ops in rows]
-    cheapest = min(results, key=lambda r: r.ops)
-    print(f"\nFewest operations: {cheapest.method} "
-          f"({format_count(cheapest.ops)} OPs, "
-          f"{1 - cheapest.ops / results[0].ops:.0%} below the dense baseline)")
+    if not args.no_hardware:
+        alf = sweep.by_method("alf")
+        print(f"ALF on Eyeriss: -{alf.energy_reduction * 100:.0f}% energy, "
+              f"-{alf.latency_reduction * 100:.0f}% latency vs. the dense ResNet-20")
 
 
 if __name__ == "__main__":

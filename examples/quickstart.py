@@ -1,19 +1,21 @@
 #!/usr/bin/env python
-"""Quickstart: compress a small CNN with ALF in a few lines.
+"""Quickstart: compress a small CNN with ALF in one `repro.api.compress` call.
 
-The workflow is exactly the paper's: build a CNN, swap its convolutions for
-ALF blocks, run the two-player training (task optimizer + per-block
-autoencoder optimizers), then deploy by dropping the autoencoders and the
-zeroed filters.
+The unified pipeline runs the paper's whole workflow: it profiles the dense
+model, swaps its convolutions for ALF blocks, runs the two-player training
+(task optimizer + per-block autoencoder optimizers), deploys by dropping the
+autoencoders and the zeroed filters, and reports cost + accuracy — the dense
+baseline profile is carried in the report, so nothing is rebuilt here.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import ALFConfig, ALFTrainer, compress_model, convert_to_alf
+import repro.api as api
+from repro.core import ALFConfig
 from repro.data import DataLoader, make_synthetic_dataset
-from repro.metrics import format_count, profile_model
+from repro.metrics import format_count, format_reduction
 from repro.models import lenet
 from repro.nn import Tensor
 from repro.nn.utils import seed_everything
@@ -28,50 +30,52 @@ def main():
     train_loader = DataLoader(train, batch_size=32, shuffle=True, seed=0)
     test_loader = DataLoader(test, batch_size=64)
 
-    # 2. Model: a small CNN, then convert its convolutions to ALF blocks.
+    # 2. Model + method config (paper workflow, quickstart-scale knobs).
     model = lenet(num_classes=4, in_channels=1, width=8, rng=rng)
-    config = ALFConfig(
+    config = api.ALFSpec(alf=ALFConfig(
         lr_task=0.05,          # task optimizer (SGD + momentum)
         lr_autoencoder=3e-2,   # per-block autoencoder optimizer
         threshold=8e-2,        # mask clipping threshold t
         pr_max=0.6,            # maximum pruning rate of the schedule
         mask_init=0.5,
-    )
-    blocks = convert_to_alf(model, config, rng=rng)
-    print(f"Converted {len(blocks)} convolutions to ALF blocks:")
-    for name, block in blocks:
-        print(f"  {name}: {block.in_channels}->{block.out_channels} filters, "
-              f"Ccode,max={block.ccode_max()}")
+    ))
 
-    # 3. Two-player training.
-    trainer = ALFTrainer(model, config)
-    history = trainer.fit(train_loader, test_loader, epochs=12)
-    for stats in history.epochs[::3] + [history.final]:
+    # 3. One call: convert -> two-player training -> deploy -> report.
+    report = api.compress(
+        model, method="alf", config=config,
+        data=(train_loader, test_loader),
+        input_shape=(1, 12, 12), epochs=12, seed=0,
+        hardware=None,          # Eyeriss stage not needed at 12x12 toy scale
+        conv_only=False,
+    )
+
+    for stats in report.history.epochs[::3] + [report.history.final]:
         print(f"epoch {stats.epoch:2d}: loss={stats.train_loss:.3f} "
               f"val acc={stats.val_accuracy * 100:5.1f}% "
               f"remaining filters={stats.remaining_filters * 100:5.1f}% "
               f"nu_prune={stats.nu_prune_mean:.2f}")
 
-    # 4. Deployment: drop the autoencoders and the zeroed filters.
-    result = compress_model(model)
+    # 4. Deployment records: what the pipeline removed per block.
     print("\nDeployment:")
-    for record in result.records:
+    for record in report.compressed.detail.records:
         print(f"  {record.name}: kept {record.kept_filters}/{record.original_filters} filters "
               f"({record.filter_reduction * 100:.0f}% removed)")
 
-    dense = lenet(num_classes=4, in_channels=1, width=8, rng=np.random.default_rng(0))
-    dense_profile = profile_model(dense, (1, 12, 12))
-    compressed_profile = profile_model(result.model, (1, 12, 12))
-    print(f"  params: {format_count(dense_profile.total_params(), 'K')} -> "
-          f"{format_count(compressed_profile.total_params(), 'K')}")
-    print(f"  OPs:    {format_count(dense_profile.total_ops(), 'M')} -> "
-          f"{format_count(compressed_profile.total_ops(), 'M')}")
+    # 5. The report carries the dense baseline profile — no rebuilding.
+    print(f"  params: {format_count(report.dense.cost['params'], 'K')} -> "
+          f"{format_count(report.cost['params'], 'K')} "
+          f"({format_reduction(report.params_reduction)})")
+    print(f"  OPs:    {format_count(report.dense.cost['ops'], 'M')} -> "
+          f"{format_count(report.cost['ops'], 'M')} "
+          f"({format_reduction(report.ops_reduction)})")
+    print(f"  compressed model accuracy: {report.accuracy * 100:.1f}%")
 
-    # 5. The compressed model is a plain dense CNN: use it like any other.
+    # 6. The compressed model is a plain dense CNN: use it like any other.
     images, labels = test_loader.full_batch()
-    result.model.eval()
-    predictions = np.argmax(result.model(Tensor(images)).data, axis=1)
-    print(f"  compressed model accuracy: {np.mean(predictions == labels) * 100:.1f}%")
+    report.model.eval()
+    predictions = np.argmax(report.model(Tensor(images)).data, axis=1)
+    print(f"  re-checked on the full test batch: "
+          f"{np.mean(predictions == labels) * 100:.1f}%")
 
 
 if __name__ == "__main__":

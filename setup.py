@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (``python setup.py develop``).
+
+All package metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working on minimal environments whose
+setuptools predates self-contained PEP 660 editable wheels (i.e. lacks the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -19,10 +19,37 @@ Subpackages
     OPs / parameter counters and compression reporting.
 ``repro.experiments``
     One module per paper table/figure reproducing its rows or series.
+``repro.api``
+    The unified compression pipeline: ``repro.api.compress(model,
+    method="alf", ...)`` drives any registered method (ALF or baseline)
+    and returns a report combining cost, accuracy and hardware metrics.
 """
 
-__version__ = "1.0.0"
+import importlib
+
+__version__ = "1.1.0"
 
 from . import nn  # noqa: F401
 
-__all__ = ["nn", "__version__"]
+#: Subpackages importable lazily as ``repro.<name>`` plus the two façade
+#: entry points re-exported at the top level (``repro.compress(...)``).
+_LAZY_SUBMODULES = (
+    "api", "baselines", "core", "data", "experiments", "hardware",
+    "metrics", "models",
+)
+_API_REEXPORTS = ("compress", "run_sweep", "CompressionSpec", "CompressionReport")
+
+
+def __getattr__(name):
+    if name in _LAZY_SUBMODULES:
+        return importlib.import_module(f".{name}", __name__)
+    if name in _API_REEXPORTS:
+        return getattr(importlib.import_module(".api", __name__), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_LAZY_SUBMODULES) + list(_API_REEXPORTS))
+
+
+__all__ = ["nn", "__version__", *_LAZY_SUBMODULES, *_API_REEXPORTS]

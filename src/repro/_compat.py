@@ -1,0 +1,26 @@
+"""Lazy re-export machinery shared by the package ``__init__`` modules.
+
+``repro.core`` / ``repro.baselines`` re-export their unified-pipeline
+counterparts from ``repro.api`` without importing it eagerly (keeping their
+light import footprint); this helper builds the module-level ``__getattr__``
+implementing that.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict
+
+
+def lazy_reexport(module_name: str, targets: Dict[str, str]) -> Callable[[str], object]:
+    """A module ``__getattr__`` resolving ``targets[name]`` modules on demand.
+
+    ``targets`` maps attribute name -> absolute module path exporting it.
+    """
+
+    def __getattr__(name: str):
+        if name in targets:
+            return getattr(importlib.import_module(targets[name]), name)
+        raise AttributeError(f"module {module_name!r} has no attribute {name!r}")
+
+    return __getattr__

@@ -1,0 +1,96 @@
+"""``repro.api`` — the unified compression pipeline.
+
+One façade over ALF, every baseline, and the hardware model::
+
+    import repro.api as api
+
+    report = api.compress("resnet20", method="alf",
+                          hardware=api.EYERISS_PAPER)
+    report.params_reduction, report.ops_reduction
+    report.energy_reduction, report.latency_reduction
+
+    sweep = api.run_sweep()          # the full Table II method set
+    print(sweep.render())
+
+Public surface
+--------------
+:func:`compress`
+    One call: profile dense baseline → prepare/fit/finalize the method →
+    measure accuracy → evaluate on the Eyeriss model → return a
+    :class:`CompressionReport`.
+:func:`run_sweep`
+    Batch runner over many :class:`CompressionSpec`, with the model,
+    loaders, dense profile and dense hardware evaluation shared.
+:class:`CompressionMethod` / :class:`CompressedModel`
+    The protocol every method adapter implements, and its output.
+:func:`available_methods` / :func:`get_method` / :func:`register_method`
+    The string-keyed method registry (``"alf"``, ``"magnitude"``,
+    ``"fpgm"``, ``"amc"``, ``"lcnn"``, ``"lowrank"``).
+"""
+
+from ..hardware import EYERISS_PAPER, EyerissSpec
+from . import adapters as _adapters  # noqa: F401  (populates the registry)
+from .adapters import (
+    ALFMethod,
+    AMCMethod,
+    CompressionAdapter,
+    FPGMMethod,
+    LCNNMethod,
+    LowRankMethod,
+    MagnitudeMethod,
+    evaluate_accuracy,
+    pruned_conv_shapes,
+)
+from .pipeline import (
+    CompressionPipeline,
+    CompressionReport,
+    DenseBaseline,
+    compress,
+    resolve_loaders,
+)
+from .protocol import CompressedModel, CompressionMethod
+from .registry import (
+    MethodEntry,
+    available_methods,
+    canonical_name,
+    create_method,
+    get_method,
+    method_entries,
+    register_method,
+)
+from .spec import (
+    ALFSpec,
+    AMCSpec,
+    CompressionSpec,
+    FPGMSpec,
+    LCNNSpec,
+    LowRankSpec,
+    MagnitudeSpec,
+)
+from .sweep import (
+    ALF_TABLE2_STAGE_REMAINING,
+    SweepResult,
+    run_sweep,
+    table2_specs,
+)
+
+__all__ = [
+    # façade
+    "compress", "run_sweep", "CompressionPipeline", "CompressionReport",
+    "SweepResult", "DenseBaseline", "table2_specs", "resolve_loaders",
+    # protocol
+    "CompressionMethod", "CompressedModel", "CompressionAdapter",
+    # registry
+    "register_method", "get_method", "available_methods", "create_method",
+    "method_entries", "canonical_name", "MethodEntry",
+    # specs
+    "CompressionSpec", "ALFSpec", "MagnitudeSpec", "FPGMSpec", "AMCSpec",
+    "LCNNSpec", "LowRankSpec",
+    # adapters
+    "ALFMethod", "MagnitudeMethod", "FPGMMethod", "AMCMethod", "LCNNMethod",
+    "LowRankMethod", "evaluate_accuracy", "pruned_conv_shapes",
+    # hardware passthrough
+    "EYERISS_PAPER", "EyerissSpec",
+    # constants
+    "ALF_TABLE2_STAGE_REMAINING",
+]

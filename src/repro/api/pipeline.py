@@ -1,0 +1,315 @@
+"""The :class:`CompressionPipeline` façade and its :class:`CompressionReport`.
+
+``repro.api.compress(model, method="alf", data=..., hardware=EYERISS_PAPER)``
+is the one call that replaces the per-method glue previously re-implemented
+by every experiment: it profiles the dense baseline, drives the method
+through prepare → fit → finalize, measures accuracy when data is available,
+runs the Eyeriss hardware model on both executions, and returns everything
+as a single report.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data import DataLoader, SyntheticImageDataset
+from ..hardware import EYERISS_PAPER, EyerissSpec, NetworkReport, evaluate_layers
+from ..hardware.layer import conv_shapes_from_model
+from ..metrics.compression import MethodResult
+from ..metrics.ops import ModelProfile, profile_model
+from ..metrics.tables import format_count, format_reduction, render_table
+from ..models import build_model, default_input_shape
+from ..nn.module import Module
+from .adapters import evaluate_accuracy
+from .protocol import CompressedModel, CompressionMethod
+from .registry import create_method, get_method
+from .spec import CompressionSpec
+
+LoaderPair = Tuple[DataLoader, Optional[DataLoader]]
+DataArg = Union[None, SyntheticImageDataset, DataLoader, Tuple]
+
+
+@dataclass
+class DenseBaseline:
+    """Profile + hardware evaluation of the uncompressed reference model.
+
+    Computed once per model and shared across an entire sweep, so batching
+    many methods does not re-profile (or re-map on the accelerator) the same
+    dense network per method.
+    """
+
+    profile: ModelProfile
+    cost: Dict[str, float]
+    hardware: Optional[NetworkReport] = None
+    accuracy: Optional[float] = None
+
+
+@dataclass
+class CompressionReport:
+    """Everything one compression run produced, in one place.
+
+    Combines the dense baseline profile, the method's effective cost
+    (:mod:`repro.metrics`), the measured accuracy, and the Eyeriss
+    energy/latency evaluation (:mod:`repro.hardware`) of both executions.
+    """
+
+    method: str
+    policy: str
+    spec: CompressionSpec
+    dense: DenseBaseline
+    compressed: CompressedModel
+    accuracy: Optional[float] = None
+    history: Any = None
+    dense_hardware: Optional[NetworkReport] = None
+    compressed_hardware: Optional[NetworkReport] = None
+
+    # -- cost ----------------------------------------------------------- #
+    @property
+    def cost(self) -> Dict[str, float]:
+        return self.compressed.cost
+
+    @property
+    def dense_profile(self) -> ModelProfile:
+        return self.dense.profile
+
+    @property
+    def params_reduction(self) -> float:
+        return 1.0 - self.cost["params"] / self.dense.cost["params"]
+
+    @property
+    def ops_reduction(self) -> float:
+        return 1.0 - self.cost["ops"] / self.dense.cost["ops"]
+
+    @property
+    def remaining_filter_fraction(self) -> float:
+        return self.compressed.remaining_filter_fraction
+
+    @property
+    def model(self) -> Module:
+        """The runnable compressed model."""
+        return self.compressed.model
+
+    # -- hardware ------------------------------------------------------- #
+    @property
+    def energy_reduction(self) -> Optional[float]:
+        if self.dense_hardware is None or self.compressed_hardware is None:
+            return None
+        return 1.0 - self.compressed_hardware.total_energy / self.dense_hardware.total_energy
+
+    @property
+    def latency_reduction(self) -> Optional[float]:
+        if self.dense_hardware is None or self.compressed_hardware is None:
+            return None
+        return 1.0 - self.compressed_hardware.total_latency / self.dense_hardware.total_latency
+
+    # -- views ---------------------------------------------------------- #
+    def as_method_result(self) -> MethodResult:
+        return MethodResult(
+            method=self.spec.display_label,
+            policy=self.policy,
+            params=self.cost["params"],
+            ops=self.cost["ops"],
+            accuracy=(self.accuracy or 0.0) * 100,
+        )
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        out: Dict[str, Optional[float]] = {
+            "method": self.method,
+            "dense_params": self.dense.cost["params"],
+            "dense_ops": self.dense.cost["ops"],
+            "params": self.cost["params"],
+            "ops": self.cost["ops"],
+            "params_reduction": self.params_reduction,
+            "ops_reduction": self.ops_reduction,
+            "remaining_filter_fraction": self.remaining_filter_fraction,
+            "accuracy": self.accuracy,
+        }
+        if self.dense_hardware is not None and self.compressed_hardware is not None:
+            out.update({
+                "dense_energy": self.dense_hardware.total_energy,
+                "energy": self.compressed_hardware.total_energy,
+                "energy_reduction": self.energy_reduction,
+                "dense_latency": self.dense_hardware.total_latency,
+                "latency": self.compressed_hardware.total_latency,
+                "latency_reduction": self.latency_reduction,
+            })
+        return out
+
+    def render(self) -> str:
+        rows = [
+            ["Params", format_count(self.dense.cost["params"]),
+             format_count(self.cost["params"]),
+             format_reduction(self.params_reduction, decimals=1)],
+            ["OPs", format_count(self.dense.cost["ops"]),
+             format_count(self.cost["ops"]),
+             format_reduction(self.ops_reduction, decimals=1)],
+        ]
+        if self.dense_hardware is not None and self.compressed_hardware is not None:
+            rows.append(["Energy", f"{self.dense_hardware.total_energy:.3e}",
+                         f"{self.compressed_hardware.total_energy:.3e}",
+                         format_reduction(self.energy_reduction, decimals=1)])
+            rows.append(["Latency", f"{self.dense_hardware.total_latency:.3e}",
+                         f"{self.compressed_hardware.total_latency:.3e}",
+                         format_reduction(self.latency_reduction, decimals=1)])
+        if self.accuracy is not None:
+            rows.append(["Accuracy", "—", f"{self.accuracy * 100:.1f}%", ""])
+        return render_table(
+            ["Metric", "Dense", self.spec.display_label, "Reduction"], rows,
+            title=f"Compression report — {self.spec.display_label} ({self.policy})")
+
+
+def resolve_loaders(data: DataArg, seed: int = 0,
+                    batch_size: int = 32) -> Optional[LoaderPair]:
+    """Normalize the ``data`` argument into ``(train_loader, val_loader)``.
+
+    Accepts ``None``, a dataset (split 80/20), a single training loader, or
+    a ``(train, val)`` tuple.
+    """
+    if data is None:
+        return None
+    if isinstance(data, SyntheticImageDataset):
+        train, val = data.split(0.8)
+        return (DataLoader(train, batch_size=batch_size, shuffle=True, seed=seed),
+                DataLoader(val, batch_size=max(64, batch_size)))
+    if isinstance(data, DataLoader):
+        return (data, None)
+    if isinstance(data, tuple) and len(data) == 2:
+        return data  # type: ignore[return-value]
+    raise TypeError(
+        "data must be None, a SyntheticImageDataset, a DataLoader, or a "
+        "(train_loader, val_loader) tuple")
+
+
+class CompressionPipeline:
+    """Strategy-based pipeline: resolve → profile → fit → finalize → report."""
+
+    def __init__(self, spec: CompressionSpec,
+                 hardware: Optional[EyerissSpec] = EYERISS_PAPER):
+        self.spec = spec.validate()
+        self.hardware = hardware
+
+    # -- stage: model / geometry resolution ----------------------------- #
+    def resolve_model(self, model: Union[None, str, Module] = None
+                      ) -> Tuple[Module, Tuple[int, int, int]]:
+        """Build (or accept) the dense model and settle the input geometry."""
+        target = model if model is not None else self.spec.model
+        if target is None:
+            raise ValueError("no model given: pass one to run() or set spec.model")
+        if isinstance(target, str):
+            built = build_model(target, rng=np.random.default_rng(self.spec.seed))
+            shape = self.spec.input_shape or default_input_shape(target)
+            return built, tuple(shape)
+        if self.spec.input_shape is None:
+            raise ValueError(
+                "input_shape is required when passing a built model instance")
+        return target, tuple(self.spec.input_shape)
+
+    # -- stage: dense baseline ------------------------------------------ #
+    def dense_baseline(self, model: Module,
+                       input_shape: Tuple[int, int, int]) -> DenseBaseline:
+        profile = profile_model(model, input_shape)
+        conv_only = self.spec.conv_only
+        cost = {
+            "params": float(profile.total_params(conv_only=conv_only)),
+            "macs": float(profile.total_macs(conv_only=conv_only)),
+            "ops": float(profile.total_ops(conv_only=conv_only)),
+        }
+        hardware_report = None
+        if self.hardware is not None:
+            shapes = conv_shapes_from_model(
+                model, input_shape, batch=self.spec.hardware_batch,
+                names=self.spec.layer_names, profile=profile)
+            hardware_report = evaluate_layers(shapes, spec=self.hardware,
+                                              name="dense")
+        return DenseBaseline(profile=profile, cost=cost, hardware=hardware_report)
+
+    # -- full run -------------------------------------------------------- #
+    def run(self, model: Union[None, str, Module] = None, data: DataArg = None,
+            dense: Optional[DenseBaseline] = None,
+            inplace: bool = False) -> CompressionReport:
+        """Execute every pipeline stage and return the combined report.
+
+        ``dense`` accepts a precomputed :class:`DenseBaseline` (sweep
+        caching).  With ``inplace=False`` (default) the caller's model is
+        never mutated — the method works on a deep copy.
+        """
+        resolved, input_shape = self.resolve_model(model)
+        spec = self.spec.with_overrides(input_shape=input_shape)
+
+        if dense is None:
+            dense = self.dense_baseline(resolved, input_shape)
+
+        source = model if model is not None else spec.model
+        # A model resolved from a registry name is freshly built and private
+        # to this run; a caller-provided instance is protected by a deep copy.
+        work = (resolved if inplace or isinstance(source, str)
+                else copy.deepcopy(resolved))
+        method: CompressionMethod = create_method(spec)
+        work = method.prepare(work)
+
+        loaders = resolve_loaders(data, seed=spec.seed)
+        history = None
+        if loaders is not None and spec.epochs > 0:
+            history = method.fit(loaders[0], loaders[1], epochs=spec.epochs)
+        else:
+            method.fit(None, None, epochs=0)
+
+        compressed = method.finalize()
+
+        accuracy = None
+        if loaders is not None and loaders[1] is not None:
+            accuracy = evaluate_accuracy(compressed.model, loaders[1])
+
+        compressed_hardware = None
+        if self.hardware is not None and compressed.layer_shapes:
+            compressed_hardware = evaluate_layers(
+                compressed.layer_shapes, spec=self.hardware,
+                name=spec.display_label)
+
+        entry = get_method(spec.method)
+        return CompressionReport(
+            method=entry.name,
+            policy=entry.policy,
+            spec=spec,
+            dense=dense,
+            compressed=compressed,
+            accuracy=accuracy,
+            history=history,
+            dense_hardware=dense.hardware,
+            compressed_hardware=compressed_hardware,
+        )
+
+
+def compress(model: Union[str, Module], method: str = "alf", *,
+             config: Any = None, data: DataArg = None,
+             hardware: Optional[EyerissSpec] = EYERISS_PAPER,
+             input_shape: Optional[Tuple[int, int, int]] = None,
+             epochs: int = 0, finetune_epochs: Optional[int] = None,
+             lr: float = 0.05, conv_only: bool = True, hardware_batch: int = 16,
+             layer_names: Optional[Sequence[str]] = None, seed: int = 0,
+             label: Optional[str] = None,
+             inplace: bool = False) -> CompressionReport:
+    """Compress ``model`` with a registered method and report everything.
+
+    The single-call façade over the whole pipeline::
+
+        report = repro.api.compress(model, method="alf", data=dataset,
+                                    hardware=EYERISS_PAPER, epochs=10)
+        report.params_reduction, report.energy_reduction, report.accuracy
+
+    ``model`` is a registry name (``"resnet20"``) or a built module (then
+    ``input_shape`` is required).  ``hardware=None`` skips the Eyeriss
+    stage; ``epochs=0`` skips training (cost-only evaluation).
+    """
+    spec = CompressionSpec(
+        method=method, config=config, input_shape=input_shape, epochs=epochs,
+        finetune_epochs=finetune_epochs, lr=lr, conv_only=conv_only,
+        hardware_batch=hardware_batch, layer_names=layer_names, seed=seed,
+        label=label,
+    )
+    return CompressionPipeline(spec, hardware=hardware).run(
+        model=model, data=data, inplace=inplace)

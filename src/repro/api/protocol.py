@@ -1,0 +1,76 @@
+"""The :class:`CompressionMethod` protocol and its :class:`CompressedModel` output.
+
+Every compression technique in this repository — ALF and all five baselines
+— is driven through the same three-phase lifecycle:
+
+1. ``prepare(model)``   — attach to / rewrite the model (e.g. swap convs for
+   ALF blocks).  Returns the working model.
+2. ``fit(train, val, epochs)`` — the optional training phase (two-player
+   training for ALF; pre-train → prune → fine-tune for the baselines).
+3. ``finalize()``       — produce a :class:`CompressedModel`: the deployable
+   model plus its effective cost and the per-layer workloads the hardware
+   model consumes.
+
+The pipeline (:mod:`repro.api.pipeline`) only ever talks to this interface,
+which is what makes methods pluggable and sweeps batchable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+
+from ..hardware.layer import ConvLayerShape
+from ..nn.module import Module
+
+
+@dataclass
+class CompressedModel:
+    """What a compression method hands back to the pipeline.
+
+    Attributes
+    ----------
+    model:
+        The runnable compressed model (for ALF: the deployed dense form).
+    method:
+        Registry key of the producing method.
+    cost:
+        Effective ``{"params", "macs", "ops"}`` under the method's own cost
+        model (pruned channels removed, dictionary/sparse inference for
+        LCNN, factorized inference for low-rank, ...).
+    layer_shapes:
+        Per-layer convolution workloads of the *compressed* execution, ready
+        for :func:`repro.hardware.evaluate_layers`.
+    remaining_filter_fraction:
+        Fraction of filters (or their closest analogue) that survive.
+    detail:
+        Method-specific artifact: pruning plan, LCNN dictionaries, SVD
+        factorizations, ALF deployment records, ...
+    """
+
+    model: Module
+    method: str
+    cost: Dict[str, float]
+    layer_shapes: List[ConvLayerShape] = field(default_factory=list)
+    remaining_filter_fraction: float = 1.0
+    detail: Any = None
+
+
+@runtime_checkable
+class CompressionMethod(Protocol):
+    """Structural interface implemented by every method adapter."""
+
+    name: str
+    policy: str
+
+    def prepare(self, model: Module) -> Module:
+        """Attach to ``model`` (rewriting it if needed); return the working model."""
+        ...
+
+    def fit(self, train_loader=None, val_loader=None, epochs: int = 0):
+        """Run the method's training phase; returns a history or ``None``."""
+        ...
+
+    def finalize(self) -> CompressedModel:
+        """Produce the compressed model with its cost and hardware workloads."""
+        ...

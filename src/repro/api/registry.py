@@ -1,0 +1,88 @@
+"""String-keyed registry of compression methods.
+
+Methods register themselves (see :mod:`repro.api.adapters`) under a short
+name; :func:`create_method` resolves a :class:`CompressionSpec` to a ready
+adapter instance.  The registry is the single source of truth for "which
+methods exist" — the sweep runner, the docs table and the tests all iterate
+:func:`available_methods`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Type
+
+from .spec import CompressionSpec
+
+
+@dataclass(frozen=True)
+class MethodEntry:
+    """One registered compression method."""
+
+    name: str
+    adapter_type: type
+    config_type: type
+    policy: str
+    summary: str
+
+
+_REGISTRY: Dict[str, MethodEntry] = {}
+
+#: Accepted spellings that map onto a canonical registry key.
+_ALIASES: Dict[str, str] = {
+    "low-rank": "lowrank",
+    "low_rank": "lowrank",
+    "svd": "lowrank",
+}
+
+
+def canonical_name(name: str) -> str:
+    key = name.strip().lower()
+    return _ALIASES.get(key, key)
+
+
+def register_method(name: str, config_type: type, policy: str,
+                    summary: str = "") -> Callable[[type], type]:
+    """Class decorator registering an adapter under ``name``."""
+
+    def decorator(adapter_type: type) -> type:
+        key = canonical_name(name)
+        _REGISTRY[key] = MethodEntry(
+            name=key, adapter_type=adapter_type, config_type=config_type,
+            policy=policy, summary=summary,
+        )
+        adapter_type.name = key
+        adapter_type.policy = policy
+        return adapter_type
+
+    return decorator
+
+
+def get_method(name: str) -> MethodEntry:
+    key = canonical_name(name)
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown compression method '{name}'; available: {available_methods()}")
+    return _REGISTRY[key]
+
+
+def available_methods() -> List[str]:
+    """Sorted canonical names of all registered methods."""
+    return sorted(_REGISTRY)
+
+
+def method_entries() -> List[MethodEntry]:
+    return [_REGISTRY[name] for name in available_methods()]
+
+
+def create_method(spec: CompressionSpec):
+    """Instantiate the adapter for ``spec`` with its (defaulted) config."""
+    entry = get_method(spec.method)
+    config = spec.resolved_config()
+    if not isinstance(config, entry.config_type):
+        raise TypeError(
+            f"method '{entry.name}' expects a {entry.config_type.__name__} config, "
+            f"got {type(config).__name__}")
+    if hasattr(config, "validate"):
+        config.validate()
+    return entry.adapter_type(config, spec)

@@ -1,0 +1,236 @@
+"""Per-method configuration dataclasses and the common :class:`CompressionSpec`.
+
+Every registered compression method has one small config dataclass holding
+its *method-specific* knobs (pruning ratio, dictionary size, rank fraction,
+agent schedule, ...).  The :class:`CompressionSpec` unifies them: it names
+the method, optionally carries its config, and adds the knobs shared by all
+methods — the model, input geometry, training budget and the accounting
+conventions (``conv_only``, hardware batch) used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.config import ALFConfig
+from ..nn.module import Module
+
+
+# --------------------------------------------------------------------------- #
+# Per-method configs
+# --------------------------------------------------------------------------- #
+@dataclass
+class ALFSpec:
+    """Configuration of the ALF method (the paper's contribution).
+
+    ``alf`` carries the block / two-player-trainer hyper-parameters.  The
+    three ``*_fraction(s)`` fields configure the *cost-only* mode used by the
+    table/figure experiments: when no training is run, the pruning masks are
+    forced to a target compression profile instead (uniform fraction,
+    per-stage fractions keyed by filter count, or per-layer fractions keyed
+    by the labels in ``layer_labels``).
+    """
+
+    alf: ALFConfig = field(default_factory=ALFConfig)
+    remaining_fraction: Optional[float] = None
+    stage_remaining: Optional[Mapping[int, float]] = None
+    layer_fractions: Optional[Mapping[str, float]] = None
+    layer_labels: Optional[Sequence[str]] = None
+    deploy: bool = True
+
+    def validate(self) -> "ALFSpec":
+        self.alf.validate()
+        if self.remaining_fraction is not None and not 0.0 < self.remaining_fraction <= 1.0:
+            raise ValueError("remaining_fraction must lie in (0, 1]")
+        for source, fractions in (("stage_remaining", self.stage_remaining),
+                                  ("layer_fractions", self.layer_fractions)):
+            for key, fraction in (fractions or {}).items():
+                if not 0.0 < fraction <= 1.0:
+                    raise ValueError(
+                        f"{source}[{key!r}] must lie in (0, 1], got {fraction}")
+        return self
+
+    def forced_fractions(self) -> bool:
+        """Whether a compression profile should be forced onto untrained masks."""
+        return (self.remaining_fraction is not None
+                or self.stage_remaining is not None
+                or self.layer_fractions is not None)
+
+
+@dataclass
+class MagnitudeSpec:
+    """Magnitude filter pruning (Han et al. style, handcrafted policy)."""
+
+    prune_ratio: float = 0.5
+    norm: str = "l1"
+    min_kernel: int = 2
+
+    def validate(self) -> "MagnitudeSpec":
+        if not 0.0 <= self.prune_ratio < 1.0:
+            raise ValueError("prune_ratio must lie in [0, 1)")
+        if self.norm not in ("l1", "l2"):
+            raise ValueError("norm must be 'l1' or 'l2'")
+        return self
+
+
+@dataclass
+class FPGMSpec:
+    """Filter pruning via geometric median (He et al., CVPR'19)."""
+
+    prune_ratio: float = 0.3
+    iterations: int = 50
+    min_kernel: int = 2
+
+    def validate(self) -> "FPGMSpec":
+        if not 0.0 <= self.prune_ratio < 1.0:
+            raise ValueError("prune_ratio must lie in [0, 1)")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        return self
+
+
+@dataclass
+class AMCSpec:
+    """AMC-style agent search over per-layer pruning ratios (He et al., ECCV'18)."""
+
+    target_ops_fraction: float = 0.5
+    iterations: int = 4
+    population: int = 8
+    elite_fraction: float = 0.25
+    max_ratio: float = 0.8
+    min_kernel: int = 2
+    #: When true and validation data is available, the agent's reward uses the
+    #: measured validation accuracy of each candidate plan instead of the
+    #: magnitude-preservation proxy.
+    accuracy_eval: bool = False
+
+    def validate(self) -> "AMCSpec":
+        if not 0.0 < self.target_ops_fraction <= 1.0:
+            raise ValueError("target_ops_fraction must lie in (0, 1]")
+        if self.iterations <= 0 or self.population <= 0:
+            raise ValueError("iterations and population must be positive")
+        return self
+
+
+@dataclass
+class LCNNSpec:
+    """Lookup/dictionary filter sharing (Bagherinezhad et al.)."""
+
+    dictionary_fraction: float = 0.25
+    sparsity: int = 3
+    kmeans_iterations: int = 10
+    min_kernel: int = 2
+    #: Replace the convolution weights by their dictionary reconstruction so
+    #: the accuracy impact of the sharing is measurable.
+    apply: bool = True
+
+    def validate(self) -> "LCNNSpec":
+        if not 0.0 < self.dictionary_fraction <= 1.0:
+            raise ValueError("dictionary_fraction must lie in (0, 1]")
+        if self.sparsity < 1:
+            raise ValueError("sparsity must be at least 1")
+        return self
+
+
+@dataclass
+class LowRankSpec:
+    """Truncated-SVD low-rank factorization (rule-based)."""
+
+    rank_fraction: Optional[float] = 0.5
+    energy_threshold: Optional[float] = None
+    min_kernel: int = 2
+    apply: bool = True
+
+    def validate(self) -> "LowRankSpec":
+        if (self.rank_fraction is None) == (self.energy_threshold is None):
+            raise ValueError("provide exactly one of rank_fraction / energy_threshold")
+        return self
+
+
+# --------------------------------------------------------------------------- #
+# The unified spec
+# --------------------------------------------------------------------------- #
+@dataclass
+class CompressionSpec:
+    """One fully-described compression run: method + config + shared knobs.
+
+    Attributes
+    ----------
+    method:
+        Registry key (``"alf"``, ``"magnitude"``, ``"fpgm"``, ``"amc"``,
+        ``"lcnn"``, ``"lowrank"``).
+    config:
+        The method's config dataclass; ``None`` selects the registered
+        defaults.
+    model:
+        Optional model to compress — a registry name (``"resnet20"``) or a
+        built :class:`repro.nn.Module`.  ``compress()`` / ``run_sweep()``
+        arguments take precedence over this field.
+    input_shape:
+        ``(C, H, W)`` geometry used for profiling and the hardware model;
+        inferred from the model registry or the dataset when omitted.
+    epochs / finetune_epochs:
+        Training budget.  For ALF this is the two-player training; for the
+        pruning baselines it is pre-train epochs followed by fine-tuning
+        after the masks are applied (``finetune_epochs`` defaults to
+        ``max(1, epochs // 2)``).  ``epochs=0`` skips training entirely
+        (cost-only evaluation).
+    lr:
+        Task learning rate for the baseline trainers (ALF uses
+        ``ALFConfig.lr_task``).
+    conv_only:
+        Restrict Params / OPs accounting to convolutional layers, the
+        paper's Table II convention.
+    hardware_batch:
+        Batch size for the Eyeriss evaluation (16 in the paper's Fig. 3).
+    layer_names:
+        Optional layer labels for the hardware report (e.g. CONV1..CONV432).
+    """
+
+    method: str
+    config: Optional[Any] = None
+    model: Optional[Union[str, Module]] = None
+    input_shape: Optional[Tuple[int, int, int]] = None
+    epochs: int = 0
+    finetune_epochs: Optional[int] = None
+    lr: float = 0.05
+    conv_only: bool = True
+    hardware_batch: int = 16
+    layer_names: Optional[Sequence[str]] = None
+    seed: int = 0
+    label: Optional[str] = None
+
+    def validate(self) -> "CompressionSpec":
+        from .registry import get_method  # local import: registry imports this module
+        entry = get_method(self.method)
+        if self.config is not None and not isinstance(self.config, entry.config_type):
+            raise TypeError(
+                f"method '{self.method}' expects a {entry.config_type.__name__} config, "
+                f"got {type(self.config).__name__}")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.finetune_epochs is not None and self.finetune_epochs < 0:
+            raise ValueError("finetune_epochs must be non-negative")
+        if self.config is not None and hasattr(self.config, "validate"):
+            self.config.validate()
+        return self
+
+    def resolved_config(self) -> Any:
+        """The per-method config, defaulting to the registered config type."""
+        if self.config is not None:
+            return self.config
+        from .registry import get_method
+        return get_method(self.method).config_type()
+
+    def resolved_finetune_epochs(self) -> int:
+        if self.finetune_epochs is not None:
+            return self.finetune_epochs
+        return max(1, self.epochs // 2) if self.epochs else 0
+
+    def with_overrides(self, **kwargs) -> "CompressionSpec":
+        return replace(self, **kwargs)
+
+    @property
+    def display_label(self) -> str:
+        return self.label or self.method

@@ -1,0 +1,194 @@
+"""Batch runner: a list of :class:`CompressionSpec` → a list of reports.
+
+``run_sweep()`` with no arguments reproduces the paper's Table II method
+set (magnitude, FPGM, AMC, LCNN, low-rank, ALF) on a ResNet-20 at CIFAR-10
+geometry in one call.  The dense model is built once, the dataset loaders
+are built once, and the dense profile + Eyeriss evaluation are computed
+once and shared across every method — sweeps do not rebuild anything per
+method.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..data import DataLoader, SyntheticImageDataset
+from ..hardware import EYERISS_PAPER, EyerissSpec
+from ..metrics.compression import ComparisonTable, MethodResult, pareto_front
+from ..metrics.tables import format_count, format_reduction, render_table
+from ..models import build_model, default_input_shape
+from ..nn.module import Module
+from .pipeline import (
+    CompressionPipeline,
+    CompressionReport,
+    DataArg,
+    DenseBaseline,
+    resolve_loaders,
+)
+from .registry import available_methods, get_method
+from .spec import ALFSpec, AMCSpec, CompressionSpec, LCNNSpec, LowRankSpec
+
+#: Per-stage remaining-filter fractions reproducing Table II's ALF row
+#: (-70% Params / -61% OPs on ResNet-20); see Fig. 2c / Fig. 3 of the paper.
+ALF_TABLE2_STAGE_REMAINING: Dict[int, float] = {16: 0.45, 32: 0.40, 64: 0.28}
+
+
+def table2_specs(seed: int = 0) -> List[CompressionSpec]:
+    """The Table II method set with the paper-matched operating points."""
+    return [
+        CompressionSpec(method="magnitude", seed=seed),
+        CompressionSpec(method="fpgm", seed=seed),
+        CompressionSpec(method="amc",
+                        config=AMCSpec(target_ops_fraction=0.49), seed=seed),
+        CompressionSpec(method="lcnn",
+                        config=LCNNSpec(dictionary_fraction=0.25, sparsity=3),
+                        seed=seed),
+        CompressionSpec(method="lowrank",
+                        config=LowRankSpec(rank_fraction=0.4), seed=seed),
+        CompressionSpec(method="alf",
+                        config=ALFSpec(stage_remaining=ALF_TABLE2_STAGE_REMAINING),
+                        seed=seed),
+    ]
+
+
+@dataclass
+class SweepResult:
+    """Reports of a sweep plus the shared dense baseline."""
+
+    dense: DenseBaseline
+    reports: List[CompressionReport] = field(default_factory=list)
+
+    def by_method(self, method: str) -> CompressionReport:
+        key = get_method(method).name
+        for report in self.reports:
+            if report.method == key:
+                return report
+        raise KeyError(f"no report for method '{method}'")
+
+    def methods(self) -> List[str]:
+        return [report.method for report in self.reports]
+
+    def comparison_table(self, baseline_label: str = "dense") -> ComparisonTable:
+        baseline = MethodResult(
+            method=baseline_label, policy="—",
+            params=self.dense.cost["params"], ops=self.dense.cost["ops"],
+            accuracy=(self.dense.accuracy or 0.0) * 100,
+        )
+        table = ComparisonTable(baseline=baseline)
+        for report in self.reports:
+            table.add(report.as_method_result())
+        return table
+
+    def pareto(self) -> List[MethodResult]:
+        return pareto_front([r.as_method_result() for r in self.reports])
+
+    def render(self, title: str = "Compression sweep") -> str:
+        headers = ["Method", "Policy", "Params", "OPs", "ΔParams", "ΔOPs",
+                   "ΔEnergy", "ΔLatency", "Acc[%]"]
+        rows = [["dense", "—", format_count(self.dense.cost["params"]),
+                 format_count(self.dense.cost["ops"]), "—", "—", "—", "—",
+                 f"{self.dense.accuracy * 100:.1f}" if self.dense.accuracy is not None else "-"]]
+        for report in self.reports:
+            rows.append([
+                report.spec.display_label, report.policy,
+                format_count(report.cost["params"]), format_count(report.cost["ops"]),
+                format_reduction(report.params_reduction),
+                format_reduction(report.ops_reduction),
+                format_reduction(report.energy_reduction),
+                format_reduction(report.latency_reduction),
+                f"{report.accuracy * 100:.1f}" if report.accuracy is not None else "-",
+            ])
+        return render_table(headers, rows, title=title)
+
+
+def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
+              model: Union[str, Module] = "resnet20",
+              data: DataArg = None,
+              hardware: Optional[EyerissSpec] = EYERISS_PAPER,
+              input_shape: Optional[Tuple[int, int, int]] = None,
+              seed: int = 0) -> SweepResult:
+    """Run many compression specs against one shared model / dataset.
+
+    With ``specs=None`` the Table II method set (all six registered
+    methods) is evaluated at the paper's operating points.  The dense model
+    and the data loaders are built once; each method then works on its own
+    deep copy, and the dense profile + hardware evaluation are computed a
+    single time and shared across every report.
+    """
+    if specs is None:
+        specs = table2_specs(seed=seed)
+    specs = list(specs)
+    if not specs:
+        raise ValueError("specs must contain at least one CompressionSpec")
+    # The dense baseline is computed once and shared, so every spec must use
+    # the same accounting conventions for the reductions to be comparable.
+    conventions = {(s.conv_only, s.hardware_batch, tuple(s.layer_names or ()))
+                   for s in specs}
+    if len(conventions) > 1:
+        raise ValueError(
+            "run_sweep shares one dense baseline across all specs; "
+            "conv_only / hardware_batch / layer_names must match on every "
+            f"spec (got {len(conventions)} different combinations)")
+
+    if isinstance(model, str):
+        base_model = build_model(model, rng=np.random.default_rng(seed))
+        resolved_shape = input_shape or default_input_shape(model)
+    else:
+        base_model = model
+        if input_shape is None:
+            raise ValueError("input_shape is required when passing a built model")
+        resolved_shape = input_shape
+
+    # Split the dataset once, but hand every method (and the dense probe)
+    # freshly-seeded loaders: DataLoader shuffling advances a persistent RNG,
+    # so sharing one loader would make each method's batch order — and thus
+    # its result — depend on its position in the spec list.
+    if isinstance(data, SyntheticImageDataset):
+        train_split, val_split = data.split(0.8)
+
+        def fresh_loaders():
+            return (DataLoader(train_split, batch_size=32, shuffle=True, seed=seed),
+                    DataLoader(val_split, batch_size=64))
+    else:
+        shared = resolve_loaders(data, seed=seed)
+
+        def fresh_loaders():
+            return shared
+
+    dense: Optional[DenseBaseline] = None
+    result: Optional[SweepResult] = None
+    for spec in specs:
+        spec = spec.with_overrides(input_shape=tuple(resolved_shape))
+        pipeline = CompressionPipeline(spec, hardware=hardware)
+        if dense is None:
+            dense = pipeline.dense_baseline(base_model, tuple(resolved_shape))
+            loaders = fresh_loaders()
+            if loaders is not None and loaders[1] is not None:
+                dense.accuracy = _dense_accuracy(base_model, loaders, specs)
+            result = SweepResult(dense=dense)
+        report = pipeline.run(model=copy.deepcopy(base_model), data=fresh_loaders(),
+                              dense=dense, inplace=True)
+        result.reports.append(report)
+    return result
+
+
+def _dense_accuracy(base_model: Module, loaders, specs) -> float:
+    """Accuracy of the dense reference under the sweep's training budget.
+
+    When the specs request training, the compressed models are trained
+    before evaluation — so the dense row is trained for the same number of
+    epochs (on a copy) to keep the comparison meaningful.
+    """
+    from ..core import ClassifierTrainer
+    from .adapters import evaluate_accuracy
+
+    epochs = max((spec.epochs for spec in specs), default=0)
+    probe = copy.deepcopy(base_model)
+    if epochs > 0 and loaders[0] is not None:
+        ClassifierTrainer(probe, lr=specs[0].lr).fit(
+            loaders[0], loaders[1], epochs=epochs)
+    return evaluate_accuracy(probe, loaders[1])

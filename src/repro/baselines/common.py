@@ -91,15 +91,17 @@ def apply_filter_masks(model: Module, plan: PruningPlan) -> None:
 
 def effective_cost(model: Module, plan: PruningPlan,
                    input_shape: Tuple[int, int, int],
-                   conv_only: bool = False) -> Dict[str, float]:
+                   conv_only: bool = False, profile=None) -> Dict[str, float]:
     """Params / MACs / OPs of the model with pruned filters removed.
 
     Structured filter pruning removes entire output filters; the following
     convolution loses the corresponding input channels.  This function
     re-computes costs layer by layer, propagating the channel reductions the
-    same way the compared methods do in their papers.
+    same way the compared methods do in their papers.  ``profile`` accepts a
+    precomputed :func:`profile_model` result for the same model/geometry.
     """
-    profile = profile_model(model, input_shape)
+    if profile is None:
+        profile = profile_model(model, input_shape)
     decisions = {d.name: d for d in plan.decisions}
     modules = dict(model.named_modules())
 

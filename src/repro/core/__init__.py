@@ -30,7 +30,13 @@ from .deploy import (
 )
 from .mask import PruningMask
 from .schedule import PruningSchedule, nu_prune
-from .trainer import ALFTrainer, ClassifierTrainer, EpochStats, TrainingHistory
+from .trainer import (
+    ALFTrainer,
+    ClassifierTrainer,
+    EpochStats,
+    TrainingHistory,
+    evaluate_accuracy,
+)
 
 __all__ = [
     "ALFConfig", "PAPER_DEFAULT",
@@ -39,6 +45,17 @@ __all__ = [
     "PruningSchedule", "nu_prune",
     "convert_to_alf", "default_convert_predicate", "alf_blocks", "named_alf_blocks",
     "ALFTrainer", "ClassifierTrainer", "EpochStats", "TrainingHistory",
+    "evaluate_accuracy",
     "compress_model", "compress_block", "compressed_blocks",
     "CompressedConv2d", "CompressionRecord", "CompressionResult",
+    "ALFMethod", "ALFSpec",
 ]
+
+# The unified-pipeline view of ALF lives in ``repro.api``; re-export it
+# lazily so ``repro.core`` keeps its light import footprint.
+from .._compat import lazy_reexport
+
+__getattr__ = lazy_reexport(__name__, {
+    "ALFMethod": "repro.api.adapters",
+    "ALFSpec": "repro.api.spec",
+})

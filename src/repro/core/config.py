@@ -77,6 +77,12 @@ class ALFConfig:
             raise ValueError("slope must be positive")
         if self.lr_autoencoder <= 0 or self.lr_task <= 0:
             raise ValueError("learning rates must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if self.mask_init < 0:
+            raise ValueError("mask_init must be non-negative")
         return self
 
     def with_overrides(self, **kwargs) -> "ALFConfig":

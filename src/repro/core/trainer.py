@@ -29,6 +29,18 @@ from .config import ALFConfig
 from .convert import alf_blocks
 
 
+def evaluate_accuracy(model: Module, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
+    """Top-1 accuracy of ``model`` over a loader of ``(images, labels)`` pairs."""
+    model.eval()
+    correct = 0
+    total = 0
+    for images, labels in loader:
+        logits = model(Tensor(images))
+        correct += int((np.argmax(logits.data, axis=1) == labels).sum())
+        total += len(labels)
+    return correct / max(1, total)
+
+
 @dataclass
 class EpochStats:
     """Metrics recorded for one training epoch."""
@@ -89,14 +101,7 @@ class ClassifierTrainer:
         return float(loss.data), accuracy(logits, labels)
 
     def evaluate(self, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
-        self.model.eval()
-        correct = 0
-        total = 0
-        for images, labels in loader:
-            logits = self.model(Tensor(images))
-            correct += int((np.argmax(logits.data, axis=1) == labels).sum())
-            total += len(labels)
-        return correct / max(1, total)
+        return evaluate_accuracy(self.model, loader)
 
     def fit(self, train_loader, val_loader=None, epochs: int = 1) -> TrainingHistory:
         for epoch in range(1, epochs + 1):
@@ -183,14 +188,7 @@ class ALFTrainer:
     # Epoch-level API
     # ------------------------------------------------------------------ #
     def evaluate(self, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
-        self.model.eval()
-        correct = 0
-        total = 0
-        for images, labels in loader:
-            logits = self.model(Tensor(images))
-            correct += int((np.argmax(logits.data, axis=1) == labels).sum())
-            total += len(labels)
-        return correct / max(1, total)
+        return evaluate_accuracy(self.model, loader)
 
     def remaining_filter_fraction(self) -> float:
         """Fraction of code filters still active, across all ALF blocks."""

@@ -15,21 +15,20 @@ Two ingredients are combined, mirroring how such tables are produced:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..baselines import AMCPruner, FPGMPruner, apply_filter_masks, effective_cost
-from ..core import ALFConfig, convert_to_alf
-from ..core.trainer import ClassifierTrainer
+from ..api import ALFSpec, AMCSpec, FPGMSpec, compress
+from ..api.sweep import ALF_TABLE2_STAGE_REMAINING
+from ..core import ALFConfig
 from ..metrics import MethodResult, pareto_front, profile_model
 from ..metrics.tables import format_count, render_table
 from ..models import plain20, resnet20
 from ..nn.utils import seed_everything
 from .paper_values import TABLE2_CIFAR
-from .runtime import ExperimentScale, get_scale, train_alf_proxy, train_vanilla_proxy
+from .runtime import ExperimentScale, get_scale, train_vanilla_proxy
 
 CIFAR_INPUT = (3, 32, 32)
 
@@ -83,14 +82,15 @@ class Table2Result:
 
 
 # --------------------------------------------------------------------------- #
-# Cost side (exact geometry)
+# Cost side (exact geometry) — thin wrappers over the unified pipeline
 # --------------------------------------------------------------------------- #
-#: Remaining-filter fraction per stage width after ALF training.  The overall
-#: average (~38%) matches Fig. 2c's "remaining filters" for t = 1e-4, but the
-#: wide, deep layers (which dominate the parameter count) are pruned harder —
-#: consistent with Fig. 3, where the largest savings appear in the CONV4xx
-#: stage.  These per-stage rates reproduce Table II's -70% Params / -61% OPs.
-ALF_STAGE_REMAINING = {16: 0.45, 32: 0.40, 64: 0.28}
+#: Remaining-filter fraction per stage width after ALF training (see
+#: :data:`repro.api.sweep.ALF_TABLE2_STAGE_REMAINING`): the overall average
+#: (~38%) matches Fig. 2c's "remaining filters" for t = 1e-4, but the wide,
+#: deep layers (which dominate the parameter count) are pruned harder —
+#: consistent with Fig. 3.  These rates reproduce Table II's -70% Params /
+#: -61% OPs.
+ALF_STAGE_REMAINING = ALF_TABLE2_STAGE_REMAINING
 
 
 def alf_compressed_cost(remaining_fraction: Optional[float] = None,
@@ -101,42 +101,31 @@ def alf_compressed_cost(remaining_fraction: Optional[float] = None,
     per layer; when ``None`` the stage-dependent profile
     :data:`ALF_STAGE_REMAINING` is used (see its docstring).
     """
-    rng = np.random.default_rng(seed)
-    model = resnet20(rng=rng)
-    blocks = convert_to_alf(model, ALFConfig(), rng=np.random.default_rng(seed + 1))
-    for _, block in blocks:
-        fraction = (remaining_fraction if remaining_fraction is not None
-                    else ALF_STAGE_REMAINING.get(block.out_channels, 0.386))
-        keep = max(1, int(round(block.out_channels * fraction)))
-        mask = np.zeros(block.out_channels)
-        mask[:keep] = 1.0
-        block.autoencoder.pruning_mask.mask.data = mask
-    profile = profile_model(model, CIFAR_INPUT)
-    return {
-        "params": profile.total_params(conv_only=True),
-        "ops": profile.total_ops(conv_only=True),
-    }
+    config = (ALFSpec(remaining_fraction=remaining_fraction)
+              if remaining_fraction is not None
+              else ALFSpec(stage_remaining=ALF_STAGE_REMAINING))
+    config.deploy = False
+    report = compress("resnet20", method="alf", config=config, hardware=None,
+                      input_shape=CIFAR_INPUT, seed=seed)
+    return {"params": report.cost["params"], "ops": report.cost["ops"]}
 
 
 def amc_cost(ops_budget: float = 0.49, seed: int = 0,
              iterations: int = 4, population: int = 8) -> Dict[str, float]:
     """Params / OPs of an AMC-pruned ResNet-20 (cost-proxy agent search)."""
-    rng = np.random.default_rng(seed)
-    model = resnet20(rng=rng)
-    pruner = AMCPruner(target_ops_fraction=ops_budget, iterations=iterations,
-                       population=population, seed=seed)
-    plan = pruner.plan(model, prune_ratio=1.0 - ops_budget)
-    cost = effective_cost(model, plan, CIFAR_INPUT, conv_only=True)
-    return {"params": cost["params"], "ops": cost["ops"]}
+    report = compress("resnet20", method="amc",
+                      config=AMCSpec(target_ops_fraction=ops_budget,
+                                     iterations=iterations, population=population),
+                      hardware=None, input_shape=CIFAR_INPUT, seed=seed)
+    return {"params": report.cost["params"], "ops": report.cost["ops"]}
 
 
 def fpgm_cost(prune_ratio: float = 0.3, seed: int = 0) -> Dict[str, float]:
     """Params / OPs of an FPGM-pruned ResNet-20 with a uniform prune ratio."""
-    rng = np.random.default_rng(seed)
-    model = resnet20(rng=rng)
-    plan = FPGMPruner().plan(model, prune_ratio=prune_ratio)
-    cost = effective_cost(model, plan, CIFAR_INPUT, conv_only=True)
-    return {"params": cost["params"], "ops": cost["ops"]}
+    report = compress("resnet20", method="fpgm",
+                      config=FPGMSpec(prune_ratio=prune_ratio),
+                      hardware=None, input_shape=CIFAR_INPUT, seed=seed)
+    return {"params": report.cost["params"], "ops": report.cost["ops"]}
 
 
 # --------------------------------------------------------------------------- #
@@ -154,10 +143,28 @@ class AccuracyMeasurements:
     alf_remaining_filters: float
 
 
+def _proxy_compress(preset: ExperimentScale, method: str, config, kind: str,
+                    seed: int, epochs: int, finetune_epochs: int):
+    """One accuracy-bearing proxy run through the unified pipeline."""
+    rng = seed_everything(seed)
+    model = preset.build_proxy(kind, rng=rng)
+    loaders = preset.build_loaders(seed=seed)
+    return compress(
+        model, method=method, config=config, data=loaders, hardware=None,
+        input_shape=(3, preset.image_size, preset.image_size),
+        epochs=epochs, finetune_epochs=finetune_epochs, lr=0.05, seed=seed,
+        inplace=True,
+    )
+
+
 def measure_accuracies(scale: str = "ci", seed: int = 0,
                        epochs: Optional[int] = None,
                        finetune_epochs: Optional[int] = None) -> AccuracyMeasurements:
-    """Train the proxy models for every Table II row and collect accuracies."""
+    """Train the proxy models for every Table II row and collect accuracies.
+
+    All compressed rows run through :func:`repro.api.compress`: pre-train →
+    prune → fine-tune for FPGM/AMC, and the two-player training for ALF.
+    """
     preset = get_scale(scale)
     epochs = epochs or preset.epochs
     finetune_epochs = finetune_epochs or max(2, epochs // 2)
@@ -165,44 +172,31 @@ def measure_accuracies(scale: str = "ci", seed: int = 0,
     plain_run = train_vanilla_proxy(preset, kind="plain", seed=seed, epochs=epochs)
     resnet_run = train_vanilla_proxy(preset, kind="resnet", seed=seed, epochs=epochs)
 
-    # FPGM: prune the trained resnet proxy, then fine-tune.
-    rng = seed_everything(seed)
-    fpgm_model = preset.build_proxy("resnet", rng=rng)
-    train_loader, test_loader = preset.build_loaders(seed=seed)
-    fpgm_trainer = ClassifierTrainer(fpgm_model, lr=0.05)
-    fpgm_trainer.fit(train_loader, test_loader, epochs=epochs)
-    plan = FPGMPruner().prune(fpgm_model, prune_ratio=0.3)
-    fpgm_trainer.fit(train_loader, test_loader, epochs=finetune_epochs)
-    fpgm_accuracy = fpgm_trainer.evaluate(test_loader)
+    fpgm_report = _proxy_compress(
+        preset, "fpgm", FPGMSpec(prune_ratio=0.3), kind="resnet",
+        seed=seed, epochs=epochs, finetune_epochs=finetune_epochs)
 
     # AMC: agent search with real (proxy) accuracy evaluation, then fine-tune.
-    rng = seed_everything(seed)
-    amc_model = preset.build_proxy("resnet", rng=rng)
-    amc_trainer = ClassifierTrainer(amc_model, lr=0.05)
-    amc_trainer.fit(train_loader, test_loader, epochs=epochs)
+    amc_report = _proxy_compress(
+        preset, "amc",
+        AMCSpec(target_ops_fraction=0.49, iterations=2, population=4,
+                accuracy_eval=True),
+        kind="resnet", seed=seed, epochs=epochs, finetune_epochs=finetune_epochs)
 
-    def evaluate_plan(model, plan):
-        candidate = copy.deepcopy(model)
-        apply_filter_masks(candidate, plan)
-        probe = ClassifierTrainer(candidate, lr=0.05)
-        return probe.evaluate(test_loader)
-
-    amc_pruner = AMCPruner(evaluate=evaluate_plan, target_ops_fraction=0.49,
-                           iterations=2, population=4, seed=seed)
-    amc_plan = amc_pruner.plan(amc_model, prune_ratio=0.51)
-    apply_filter_masks(amc_model, amc_plan)
-    amc_trainer.fit(train_loader, test_loader, epochs=finetune_epochs)
-    amc_accuracy = amc_trainer.evaluate(test_loader)
-
-    alf_run, _ = train_alf_proxy(preset, seed=seed, epochs=epochs)
+    alf_config = ALFSpec(alf=ALFConfig(lr_task=0.05, threshold=1e-1,
+                                       lr_autoencoder=5e-2, pr_max=0.6,
+                                       mask_init=0.6))
+    alf_report = _proxy_compress(
+        preset, "alf", alf_config, kind="plain",
+        seed=seed, epochs=epochs, finetune_epochs=finetune_epochs)
 
     return AccuracyMeasurements(
         plain=plain_run.accuracy * 100,
         resnet=resnet_run.accuracy * 100,
-        amc=amc_accuracy * 100,
-        fpgm=fpgm_accuracy * 100,
-        alf=alf_run.accuracy * 100,
-        alf_remaining_filters=alf_run.remaining_filters,
+        amc=amc_report.accuracy * 100,
+        fpgm=fpgm_report.accuracy * 100,
+        alf=alf_report.accuracy * 100,
+        alf_remaining_filters=alf_report.remaining_filter_fraction,
     )
 
 

@@ -17,12 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..core import ALFConfig, convert_to_alf
-from ..hardware import EyerissSpec, EYERISS_PAPER, NetworkReport, compare_networks, evaluate_model
+from ..api import ALFSpec, compress
+from ..hardware import EyerissSpec, EYERISS_PAPER, NetworkReport
 from ..metrics.tables import render_table
-from ..models import plain20, resnet20
 from ..models.plain import plain_layer_names
 from .paper_values import HEADLINE_CLAIMS
 
@@ -85,48 +82,35 @@ class Fig3Result:
                             title=f"Fig. 3 — {self.architecture}: energy breakdown and latency")
 
 
-def build_alf_compressed(architecture: str = "plain20",
-                         remaining_fraction: float = 0.386,
-                         per_layer_fractions: Optional[Dict[str, float]] = None,
-                         seed: int = 0):
-    """An ALF-converted CIFAR model with its pruning masks set to a compression profile.
-
-    ``per_layer_fractions`` (name -> remaining fraction) overrides the
-    uniform ``remaining_fraction`` where provided; names follow the
-    conversion order (CONV1 is never converted to ALF in the paper's Fig. 3
-    naming — the stem is kept dense here as well).
-    """
-    factory = {"plain20": plain20, "resnet20": resnet20}[architecture]
-    model = factory(rng=np.random.default_rng(seed))
-    blocks = convert_to_alf(model, ALFConfig(), rng=np.random.default_rng(seed + 1))
-    names = plain_layer_names()[1:]  # skip CONV1 (the stem keeps a dense conv)
-    for index, (qualified, block) in enumerate(blocks):
-        label = names[index] if index < len(names) else qualified
-        fraction = (per_layer_fractions or {}).get(label, remaining_fraction)
-        keep = max(1, int(round(block.out_channels * fraction)))
-        mask = np.zeros(block.out_channels)
-        mask[:keep] = 1.0
-        block.autoencoder.pruning_mask.mask.data = mask
-    return model
-
-
 def run(architecture: str = "plain20", batch: int = 16,
         remaining_fraction: float = 0.386,
         per_layer_fractions: Optional[Dict[str, float]] = None,
         spec: Optional[EyerissSpec] = None, seed: int = 0) -> Fig3Result:
-    """Evaluate vanilla vs. ALF-compressed execution on the Eyeriss model."""
-    spec = spec or EYERISS_PAPER
-    factory = {"plain20": plain20, "resnet20": resnet20}[architecture]
+    """Evaluate vanilla vs. ALF-compressed execution on the Eyeriss model.
+
+    One :func:`repro.api.compress` call supplies both sides: the pipeline's
+    dense stage evaluates the vanilla network and its hardware stage
+    evaluates the ALF-compressed execution.  Layer labels follow the
+    paper's CONV1..CONV432 naming; CONV1 (the stem) keeps a dense
+    convolution, so the forced per-layer fractions apply from CONV211 on.
+    """
     names = plain_layer_names()
-
-    vanilla = factory(rng=np.random.default_rng(seed))
-    vanilla_report = evaluate_model(vanilla, CIFAR_INPUT, batch=batch, spec=spec,
-                                    name=architecture, layer_names=names)
-
-    compressed = build_alf_compressed(architecture, remaining_fraction,
-                                      per_layer_fractions, seed=seed)
-    alf_report = evaluate_model(compressed, CIFAR_INPUT, batch=batch, spec=spec,
-                                name=f"ALF-{architecture}", layer_names=names)
+    if architecture not in ("plain20", "resnet20"):
+        raise KeyError(f"unknown architecture '{architecture}'")
+    config = ALFSpec(
+        remaining_fraction=remaining_fraction,
+        layer_fractions=per_layer_fractions,
+        layer_labels=names[1:],  # skip CONV1 (the stem keeps a dense conv)
+        deploy=False,
+    )
+    report = compress(
+        architecture, method="alf", config=config,
+        hardware=spec or EYERISS_PAPER, hardware_batch=batch,
+        input_shape=CIFAR_INPUT, layer_names=names, seed=seed,
+        label=f"ALF-{architecture}",
+    )
+    vanilla_report = report.dense_hardware
+    alf_report = report.compressed_hardware
 
     vanilla_energy = {r.layer.name: r.energy for r in vanilla_report.layers}
     vanilla_latency = {r.layer.name: r.latency.total_cycles for r in vanilla_report.layers}
@@ -148,9 +132,8 @@ def run(architecture: str = "plain20", batch: int = 16,
             alf_dram=alf_e.dram,
             alf_latency=alf_latency.get(name, vanilla_latency[name]),
         ))
-    comparison = compare_networks(vanilla_report, alf_report)
-    result.energy_reduction = comparison.energy_reduction
-    result.latency_reduction = comparison.latency_reduction
+    result.energy_reduction = report.energy_reduction
+    result.latency_reduction = report.latency_reduction
     result.vanilla_report = vanilla_report
     result.alf_report = alf_report
     return result

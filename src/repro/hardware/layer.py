@@ -72,8 +72,8 @@ class ConvLayerShape:
 
 
 def conv_shapes_from_model(model: Module, input_shape: Tuple[int, int, int],
-                           batch: int = 1, names: Optional[Sequence[str]] = None
-                           ) -> List[ConvLayerShape]:
+                           batch: int = 1, names: Optional[Sequence[str]] = None,
+                           profile=None) -> List[ConvLayerShape]:
     """Extract per-convolution workloads from a model via shape profiling.
 
     Standard convolutions map to one :class:`ConvLayerShape`.  ALF blocks
@@ -83,9 +83,13 @@ def conv_shapes_from_model(model: Module, input_shape: Tuple[int, int, int],
 
     ``names`` optionally overrides the generated layer names (matched by
     order of the underlying convolution modules, expansion layers get an
-    ``_exp`` suffix).
+    ``_exp`` suffix).  ``profile`` accepts a precomputed
+    :class:`repro.metrics.ModelProfile` of the same model/geometry so
+    callers that already profiled for cost accounting skip the second
+    forward pass.
     """
-    profile = profile_model(model, input_shape, batch_size=1)
+    if profile is None:
+        profile = profile_model(model, input_shape, batch_size=1)
     module_by_name = dict(model.named_modules())
     shapes: List[ConvLayerShape] = []
     conv_index = 0

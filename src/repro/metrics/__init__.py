@@ -16,11 +16,11 @@ from .ops import (
     count_params,
     profile_model,
 )
-from .tables import format_count, format_percent, render_table
+from .tables import format_count, format_percent, format_reduction, render_table
 
 __all__ = [
     "profile_model", "ModelProfile", "LayerProfile",
     "count_params", "count_ops", "count_macs", "OPS_PER_MAC",
     "MethodResult", "ComparisonTable", "pareto_front", "dominates", "compression_summary",
-    "render_table", "format_count", "format_percent",
+    "render_table", "format_count", "format_percent", "format_reduction",
 ]

@@ -24,6 +24,18 @@ def format_percent(value: Optional[float], decimals: int = 1, signed: bool = Fal
     return f"{sign}{value * 100:.{decimals}f}%"
 
 
+def format_reduction(value: Optional[float], decimals: int = 0) -> str:
+    """Render a fractional reduction: ``0.61 -> '-61%'``, ``-0.23 -> '+23%'``.
+
+    A negative reduction means the quantity *grew*; rendering it with an
+    explicit ``+`` avoids the "--23%" double negative.
+    """
+    if value is None:
+        return "-"
+    sign = "-" if value >= 0 else "+"
+    return f"{sign}{abs(value) * 100:.{decimals}f}%"
+
+
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]],
                  title: Optional[str] = None) -> str:
     """Render an aligned plain-text table."""

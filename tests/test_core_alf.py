@@ -45,6 +45,19 @@ class TestConfig:
         with pytest.raises(ValueError):
             ALFConfig(lr_task=-0.1).validate()
 
+    def test_validate_rejects_bad_optimizer_and_mask_values(self):
+        """Regression: momentum / weight_decay / mask_init were unchecked."""
+        with pytest.raises(ValueError):
+            ALFConfig(momentum=1.0).validate()
+        with pytest.raises(ValueError):
+            ALFConfig(momentum=-0.1).validate()
+        with pytest.raises(ValueError):
+            ALFConfig(weight_decay=-1e-4).validate()
+        with pytest.raises(ValueError):
+            ALFConfig(mask_init=-0.5).validate()
+        # The boundary values remain valid.
+        ALFConfig(momentum=0.0, weight_decay=0.0, mask_init=0.0).validate()
+
     def test_with_overrides_returns_new_instance(self):
         base = ALFConfig()
         other = base.with_overrides(threshold=5e-4)
