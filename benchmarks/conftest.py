@@ -5,18 +5,89 @@ measured rows next to the paper's reported values (so EXPERIMENTS.md can be
 refreshed from the output), and records its wall-clock time via
 pytest-benchmark.  Training-backed benchmarks run exactly once per session
 (``rounds=1``) — they are experiments, not micro-benchmarks.
+
+On top of the interactive pytest-benchmark output, the harness writes a
+machine-readable ``BENCH_engine.json`` at the repository root: one
+wall-clock entry per benchmark (plus any extra metrics a benchmark reports
+via :func:`record_metric`), so the performance trajectory of the repo can
+be tracked across commits without parsing pytest output.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: test name -> wall-clock seconds of the benchmarked callable.
+_TIMINGS = {}
+#: test name -> {metric: value} side-channel for benchmark-specific numbers.
+_METRICS = {}
+
+
+def _current_test_name() -> str:
+    current = os.environ.get("PYTEST_CURRENT_TEST", "unknown")
+    # "benchmarks/test_x.py::test_y (call)" -> "test_y"
+    return current.split("::")[-1].split(" ")[0]
+
+
+def record_metric(name: str, value) -> None:
+    """Attach an extra metric to the current benchmark's JSON entry."""
+    _METRICS.setdefault(_current_test_name(), {})[name] = value
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    test_name = _current_test_name()
+
+    def timed(*inner_args, **inner_kwargs):
+        start = time.perf_counter()
+        result = fn(*inner_args, **inner_kwargs)
+        _TIMINGS[test_name] = time.perf_counter() - start
+        return result
+
+    return benchmark.pedantic(timed, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
 @pytest.fixture
 def once():
     return run_once
+
+
+@pytest.fixture
+def metric():
+    return record_metric
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist per-benchmark wall-clock (and extra metrics) as JSON.
+
+    Entries merge into the existing file so a partial benchmark run (e.g.
+    a single ``pytest benchmarks/test_bench_engine_forward.py``) refreshes
+    only the benchmarks that actually ran.
+    """
+    if not _TIMINGS and not _METRICS:
+        return
+    entries = {}
+    if _BENCH_JSON.exists():
+        try:
+            entries = json.loads(_BENCH_JSON.read_text()).get("benchmarks", {})
+        except (json.JSONDecodeError, OSError):
+            entries = {}
+    for name in sorted(set(_TIMINGS) | set(_METRICS)):
+        entry = {}
+        if name in _TIMINGS:
+            entry["wall_clock_seconds"] = round(_TIMINGS[name], 6)
+        entry.update(_METRICS.get(name, {}))
+        entries[name] = entry
+    payload = {
+        "schema": "repro-bench/1",
+        "default_dtype": os.environ.get("REPRO_DEFAULT_DTYPE") or "float64",
+        "benchmarks": entries,
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,92 @@
+"""Microbenchmark: train-mode forward vs tape-free no-grad forward.
+
+The engine refactor's acceptance criterion: a ``no_grad()`` forward of a
+ResNet-20 CIFAR batch must allocate **zero** tape nodes and be measurably
+faster than the grad-mode forward (which records one tape node per op and
+keeps every im2col context alive).  Also compares the float32 fast path
+against the float64 default.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn.backend import use_backend
+from repro.nn.tensor import Tensor, no_grad, tape_nodes_created
+
+BATCH = 16
+INPUT_SHAPE = (3, 32, 32)
+ROUNDS = 3
+
+
+def _median_seconds(fn, rounds: int = ROUNDS) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]
+
+
+def _forward_benchmark():
+    rng = np.random.default_rng(0)
+    model = build_model("resnet20", rng=rng)
+    images = rng.standard_normal((BATCH,) + INPUT_SHAPE)
+    x = Tensor(images)
+
+    # Grad-mode forward: training mode, tape recorded for every op.
+    model.train()
+    grad_seconds = _median_seconds(lambda: model(x))
+
+    # Inference forward: eval mode runs under no_grad automatically; assert
+    # the graph-free guarantee explicitly before timing.
+    model.eval()
+    before = tape_nodes_created()
+    with no_grad():
+        logits = model(x)
+    tape_nodes = tape_nodes_created() - before
+    nograd_seconds = _median_seconds(lambda: model(x))
+
+    # The float32 fast path: same architecture, half-width arrays.
+    with use_backend("numpy32"):
+        model32 = build_model("resnet20", rng=np.random.default_rng(0))
+        model32.eval()
+        x32 = Tensor(images.astype(np.float32))
+        float32_seconds = _median_seconds(lambda: model32(x32))
+
+    return {
+        "tape_nodes_nograd": int(tape_nodes),
+        "grad_forward_seconds": grad_seconds,
+        "nograd_forward_seconds": nograd_seconds,
+        "float32_forward_seconds": float32_seconds,
+        "speedup_nograd_vs_grad": grad_seconds / nograd_seconds,
+        "speedup_float32_vs_float64": nograd_seconds / float32_seconds,
+        "logits_shape": tuple(logits.shape),
+    }
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_engine_forward(benchmark, once, metric):
+    result = once(benchmark, _forward_benchmark)
+
+    print("\nResNet-20 forward, batch %d %s" % (BATCH, (INPUT_SHAPE,)))
+    print(f"  grad-mode forward     : {result['grad_forward_seconds'] * 1e3:9.1f} ms")
+    print(f"  no-grad forward       : {result['nograd_forward_seconds'] * 1e3:9.1f} ms "
+          f"({result['speedup_nograd_vs_grad']:.2f}x)")
+    print(f"  float32 no-grad       : {result['float32_forward_seconds'] * 1e3:9.1f} ms "
+          f"({result['speedup_float32_vs_float64']:.2f}x vs float64)")
+    print(f"  tape nodes under no_grad: {result['tape_nodes_nograd']}")
+
+    for key in ("grad_forward_seconds", "nograd_forward_seconds",
+                "float32_forward_seconds", "speedup_nograd_vs_grad",
+                "speedup_float32_vs_float64", "tape_nodes_nograd"):
+        metric(key, result[key])
+
+    assert result["logits_shape"] == (BATCH, 10)
+    # Acceptance criteria: graph-free and measurably faster.
+    assert result["tape_nodes_nograd"] == 0
+    assert result["nograd_forward_seconds"] < result["grad_forward_seconds"]

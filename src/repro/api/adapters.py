@@ -151,9 +151,10 @@ class ALFMethod(CompressionAdapter):
                 fraction = (self.config.remaining_fraction
                             if self.config.remaining_fraction is not None else 0.386)
             keep = max(1, int(round(block.out_channels * fraction)))
-            mask = np.zeros(block.out_channels)
+            target = block.autoencoder.pruning_mask.mask
+            mask = np.zeros(block.out_channels, dtype=target.data.dtype)
             mask[:keep] = 1.0
-            block.autoencoder.pruning_mask.mask.data = mask
+            target.data = mask
 
     def finalize(self) -> CompressedModel:
         model = self._require_model()

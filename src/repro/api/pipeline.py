@@ -23,6 +23,7 @@ from ..metrics.compression import MethodResult
 from ..metrics.ops import ModelProfile, profile_model
 from ..metrics.tables import format_count, format_reduction, render_table
 from ..models import build_model, default_input_shape
+from ..nn.backend import get_default_dtype, use_backend
 from ..nn.module import Module
 from .adapters import evaluate_accuracy
 from .protocol import CompressedModel, CompressionMethod
@@ -192,6 +193,10 @@ class CompressionPipeline:
         self.spec = spec.validate()
         self.hardware = hardware
 
+    def execution_context(self):
+        """The backend / dtype scope every pipeline stage runs under."""
+        return use_backend(self.spec.backend, dtype=self.spec.dtype)
+
     # -- stage: model / geometry resolution ----------------------------- #
     def resolve_model(self, model: Union[None, str, Module] = None
                       ) -> Tuple[Module, Tuple[int, int, int]]:
@@ -211,6 +216,11 @@ class CompressionPipeline:
     # -- stage: dense baseline ------------------------------------------ #
     def dense_baseline(self, model: Module,
                        input_shape: Tuple[int, int, int]) -> DenseBaseline:
+        with self.execution_context():
+            return self._dense_baseline(model, input_shape)
+
+    def _dense_baseline(self, model: Module,
+                        input_shape: Tuple[int, int, int]) -> DenseBaseline:
         profile = profile_model(model, input_shape)
         conv_only = self.spec.conv_only
         cost = {
@@ -236,18 +246,33 @@ class CompressionPipeline:
         ``dense`` accepts a precomputed :class:`DenseBaseline` (sweep
         caching).  With ``inplace=False`` (default) the caller's model is
         never mutated — the method works on a deep copy.
+
+        Every stage runs under the spec's execution context
+        (``spec.backend`` / ``spec.dtype``): models are built or cast to
+        the context dtype, loaders emit batches in it, and the accuracy
+        probes run tape-free under :func:`~repro.nn.tensor.no_grad`.
         """
+        with self.execution_context():
+            return self._run(model=model, data=data, dense=dense, inplace=inplace)
+
+    def _run(self, model: Union[None, str, Module] = None, data: DataArg = None,
+             dense: Optional[DenseBaseline] = None,
+             inplace: bool = False) -> CompressionReport:
         resolved, input_shape = self.resolve_model(model)
         spec = self.spec.with_overrides(input_shape=input_shape)
 
         if dense is None:
-            dense = self.dense_baseline(resolved, input_shape)
+            dense = self._dense_baseline(resolved, input_shape)
 
         source = model if model is not None else spec.model
         # A model resolved from a registry name is freshly built and private
         # to this run; a caller-provided instance is protected by a deep copy.
         work = (resolved if inplace or isinstance(source, str)
                 else copy.deepcopy(resolved))
+        if spec.dtype is not None or spec.backend is not None:
+            # Caller-provided models may predate the execution context;
+            # align them with the context's dtype before compressing.
+            work.astype(get_default_dtype())
         method: CompressionMethod = create_method(spec)
         work = method.prepare(work)
 
@@ -262,6 +287,8 @@ class CompressionPipeline:
 
         accuracy = None
         if loaders is not None and loaders[1] is not None:
+            # evaluate_accuracy runs under no_grad: the probe is tape-free
+            # (asserted by the regression tests in tests/test_engine.py).
             accuracy = evaluate_accuracy(compressed.model, loaders[1])
 
         compressed_hardware = None
@@ -290,8 +317,9 @@ def compress(model: Union[str, Module], method: str = "alf", *,
              input_shape: Optional[Tuple[int, int, int]] = None,
              epochs: int = 0, finetune_epochs: Optional[int] = None,
              lr: float = 0.05, conv_only: bool = True, hardware_batch: int = 16,
-             layer_names: Optional[Sequence[str]] = None, seed: int = 0,
-             label: Optional[str] = None,
+             layer_names: Optional[Sequence[str]] = None,
+             dtype: Optional[str] = None, backend: Optional[str] = None,
+             seed: int = 0, label: Optional[str] = None,
              inplace: bool = False) -> CompressionReport:
     """Compress ``model`` with a registered method and report everything.
 
@@ -304,12 +332,14 @@ def compress(model: Union[str, Module], method: str = "alf", *,
     ``model`` is a registry name (``"resnet20"``) or a built module (then
     ``input_shape`` is required).  ``hardware=None`` skips the Eyeriss
     stage; ``epochs=0`` skips training (cost-only evaluation).
+    ``dtype="float32"`` (or ``backend="numpy32"``) runs the whole pipeline
+    on the float32 fast path.
     """
     spec = CompressionSpec(
         method=method, config=config, input_shape=input_shape, epochs=epochs,
         finetune_epochs=finetune_epochs, lr=lr, conv_only=conv_only,
-        hardware_batch=hardware_batch, layer_names=layer_names, seed=seed,
-        label=label,
+        hardware_batch=hardware_batch, layer_names=layer_names,
+        dtype=dtype, backend=backend, seed=seed, label=label,
     )
     return CompressionPipeline(spec, hardware=hardware).run(
         model=model, data=data, inplace=inplace)

@@ -186,6 +186,13 @@ class CompressionSpec:
         Batch size for the Eyeriss evaluation (16 in the paper's Fig. 3).
     layer_names:
         Optional layer labels for the hardware report (e.g. CONV1..CONV432).
+    dtype:
+        Compute dtype for the whole run (``"float32"`` / ``"float64"``).
+        ``None`` keeps the active backend's default.  The model, the data
+        batches and all training/evaluation run in this dtype.
+    backend:
+        Execution backend name from :func:`repro.nn.available_backends`
+        (e.g. ``"numpy"``, ``"numpy32"``); ``None`` keeps the active one.
     """
 
     method: str
@@ -198,10 +205,15 @@ class CompressionSpec:
     conv_only: bool = True
     hardware_batch: int = 16
     layer_names: Optional[Sequence[str]] = None
+    dtype: Optional[str] = None
+    backend: Optional[str] = None
     seed: int = 0
     label: Optional[str] = None
 
     def validate(self) -> "CompressionSpec":
+        import numpy as np
+
+        from ..nn.backend import get_backend
         from .registry import get_method  # local import: registry imports this module
         entry = get_method(self.method)
         if self.config is not None and not isinstance(self.config, entry.config_type):
@@ -212,6 +224,10 @@ class CompressionSpec:
             raise ValueError("epochs must be non-negative")
         if self.finetune_epochs is not None and self.finetune_epochs < 0:
             raise ValueError("finetune_epochs must be non-negative")
+        if self.dtype is not None and np.dtype(self.dtype).kind != "f":
+            raise ValueError("dtype must be a floating dtype (e.g. 'float32')")
+        if self.backend is not None:
+            get_backend(self.backend)  # raises KeyError for unknown names
         if self.config is not None and hasattr(self.config, "validate"):
             self.config.validate()
         return self

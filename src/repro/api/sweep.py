@@ -21,6 +21,7 @@ from ..hardware import EYERISS_PAPER, EyerissSpec
 from ..metrics.compression import ComparisonTable, MethodResult, pareto_front
 from ..metrics.tables import format_count, format_reduction, render_table
 from ..models import build_model, default_input_shape
+from ..nn.backend import get_default_dtype, use_backend
 from ..nn.module import Module
 from .pipeline import (
     CompressionPipeline,
@@ -110,6 +111,7 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
               data: DataArg = None,
               hardware: Optional[EyerissSpec] = EYERISS_PAPER,
               input_shape: Optional[Tuple[int, int, int]] = None,
+              dtype: Optional[str] = None, backend: Optional[str] = None,
               seed: int = 0) -> SweepResult:
     """Run many compression specs against one shared model / dataset.
 
@@ -118,22 +120,40 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
     and the data loaders are built once; each method then works on its own
     deep copy, and the dense profile + hardware evaluation are computed a
     single time and shared across every report.
+
+    ``dtype`` / ``backend`` select the execution engine for the whole
+    sweep (overriding every spec); because one dense baseline is shared,
+    per-spec dtype/backend values must otherwise agree.
     """
     if specs is None:
         specs = table2_specs(seed=seed)
     specs = list(specs)
     if not specs:
         raise ValueError("specs must contain at least one CompressionSpec")
+    if dtype is not None or backend is not None:
+        specs = [s.with_overrides(dtype=dtype or s.dtype,
+                                  backend=backend or s.backend) for s in specs]
     # The dense baseline is computed once and shared, so every spec must use
-    # the same accounting conventions for the reductions to be comparable.
-    conventions = {(s.conv_only, s.hardware_batch, tuple(s.layer_names or ()))
+    # the same accounting conventions (and execution engine) for the
+    # reductions to be comparable.
+    conventions = {(s.conv_only, s.hardware_batch, tuple(s.layer_names or ()),
+                    s.dtype, s.backend)
                    for s in specs}
     if len(conventions) > 1:
         raise ValueError(
             "run_sweep shares one dense baseline across all specs; "
-            "conv_only / hardware_batch / layer_names must match on every "
+            "conv_only / hardware_batch / layer_names / dtype / backend "
+            "must match on every "
             f"spec (got {len(conventions)} different combinations)")
 
+    with use_backend(specs[0].backend, dtype=specs[0].dtype):
+        return _run_sweep(specs, model, data, hardware, input_shape, seed)
+
+
+def _run_sweep(specs: List[CompressionSpec], model: Union[str, Module],
+               data: DataArg, hardware: Optional[EyerissSpec],
+               input_shape: Optional[Tuple[int, int, int]],
+               seed: int) -> SweepResult:
     if isinstance(model, str):
         base_model = build_model(model, rng=np.random.default_rng(seed))
         resolved_shape = input_shape or default_input_shape(model)
@@ -188,6 +208,8 @@ def _dense_accuracy(base_model: Module, loaders, specs) -> float:
 
     epochs = max((spec.epochs for spec in specs), default=0)
     probe = copy.deepcopy(base_model)
+    if specs[0].dtype is not None or specs[0].backend is not None:
+        probe.astype(get_default_dtype())
     if epochs > 0 and loaders[0] is not None:
         ClassifierTrainer(probe, lr=specs[0].lr).fit(
             loaders[0], loaders[1], epochs=epochs)

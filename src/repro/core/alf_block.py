@@ -79,7 +79,7 @@ class ALFConv2d(Module):
             (out_channels, in_channels, self.kernel_size, self.kernel_size), rng=rng))
         wexp_init = init_mod.get_initializer(self.config.wexp_init)
         self.expansion = Parameter(wexp_init((out_channels, out_channels, 1, 1), rng=rng))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.bias = Parameter(init_mod.zeros((out_channels,))) if bias else None
 
         # Autoencoder variables (trained by the dedicated AE optimizer only).
         self.autoencoder = WeightAutoencoder(

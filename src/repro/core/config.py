@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+import numpy as np
+
 
 @dataclass
 class ALFConfig:
@@ -49,6 +51,9 @@ class ALFConfig:
         Momentum of the task SGD optimizer.
     lr_task:
         Learning rate of the task optimizer.
+    dtype:
+        Optional compute dtype for the whole training run (``"float32"`` /
+        ``"float64"``); ``None`` defers to the active backend's default.
     """
 
     threshold: float = 1e-4
@@ -65,6 +70,7 @@ class ALFConfig:
     weight_decay: float = 1e-4
     momentum: float = 0.9
     lr_task: float = 0.1
+    dtype: Optional[str] = None
     seed: int = 0
 
     def validate(self) -> "ALFConfig":
@@ -83,6 +89,8 @@ class ALFConfig:
             raise ValueError("weight_decay must be non-negative")
         if self.mask_init < 0:
             raise ValueError("mask_init must be non-negative")
+        if self.dtype is not None and np.dtype(self.dtype).kind != "f":
+            raise ValueError("dtype must be a floating dtype (e.g. 'float32')")
         return self
 
     def with_overrides(self, **kwargs) -> "ALFConfig":

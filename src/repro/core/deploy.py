@@ -30,9 +30,9 @@ class CompressedConv2d(Module):
                  sigma_inter: Optional[str] = None, bn_inter: Optional[BatchNorm2d] = None,
                  name: Optional[str] = None):
         super().__init__()
-        self.code_weight = Parameter(np.asarray(code_weight, dtype=float))
-        self.expansion_weight = Parameter(np.asarray(expansion_weight, dtype=float))
-        self.bias = Parameter(np.asarray(bias, dtype=float)) if bias is not None else None
+        self.code_weight = Parameter(np.asarray(code_weight))
+        self.expansion_weight = Parameter(np.asarray(expansion_weight))
+        self.bias = Parameter(np.asarray(bias)) if bias is not None else None
         self.stride = stride
         self.padding = padding
         self.block_name = name or "compressed_conv"

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..nn.backend import get_default_dtype
 from ..nn.module import Module, Parameter
 from ..nn.ste import binary_indicator, clip_mask
 from ..nn.tensor import Tensor
@@ -31,12 +32,13 @@ class PruningMask(Module):
         self.num_filters = num_filters
         self.threshold = threshold
         self.enabled = enabled
-        self.mask = Parameter(np.full(num_filters, float(init_value)))
+        self.mask = Parameter(np.full(num_filters, float(init_value),
+                                    dtype=get_default_dtype()))
 
     def forward(self) -> Tensor:
         """Return the clipped mask ``Mprune`` as a length-``Co`` tensor."""
         if not self.enabled:
-            return Tensor(np.ones(self.num_filters))
+            return Tensor(np.ones(self.num_filters, dtype=self.mask.data.dtype))
         return clip_mask(self.mask, self.threshold)
 
     # ------------------------------------------------------------------ #
@@ -65,7 +67,9 @@ class PruningMask(Module):
 
     def reset(self, value: Optional[float] = None) -> None:
         """Reset all mask entries (e.g. before a fresh training run)."""
-        self.mask.data = np.full(self.num_filters, float(value if value is not None else 1.0))
+        self.mask.data = np.full(self.num_filters,
+                                 float(value if value is not None else 1.0),
+                                 dtype=self.mask.data.dtype)
         self.mask.zero_grad()
 
     def __repr__(self) -> str:

@@ -23,21 +23,32 @@ import numpy as np
 from ..nn.loss import accuracy, cross_entropy, l2_regularization
 from ..nn.module import Module, Parameter
 from ..nn.optim import SGD, LRScheduler
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 from .alf_block import ALFConv2d
 from .config import ALFConfig
 from .convert import alf_blocks
 
 
-def evaluate_accuracy(model: Module, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
-    """Top-1 accuracy of ``model`` over a loader of ``(images, labels)`` pairs."""
+def evaluate_accuracy(model: Module, loader: Iterable[Tuple[np.ndarray, np.ndarray]],
+                      dtype=None) -> float:
+    """Top-1 accuracy of ``model`` over a loader of ``(images, labels)`` pairs.
+
+    Runs tape-free: evaluation is wrapped in
+    :func:`~repro.nn.tensor.no_grad` (on top of eval mode) so no autograd
+    state is allocated per batch.  ``dtype`` optionally casts the batches
+    (trainers pass their own compute dtype so validation matches training
+    precision).
+    """
+    was_training = model.training
     model.eval()
     correct = 0
     total = 0
-    for images, labels in loader:
-        logits = model(Tensor(images))
-        correct += int((np.argmax(logits.data, axis=1) == labels).sum())
-        total += len(labels)
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images, dtype=dtype))
+            correct += int((np.argmax(logits.data, axis=1) == labels).sum())
+            total += len(labels)
+    model.train(was_training)
     return correct / max(1, total)
 
 
@@ -78,12 +89,19 @@ class TrainingHistory:
 
 
 class ClassifierTrainer:
-    """Plain SGD training of an (uncompressed or baseline) classifier."""
+    """Plain SGD training of an (uncompressed or baseline) classifier.
+
+    ``dtype`` optionally casts the model and every incoming batch (e.g.
+    ``"float32"`` for the fast path); ``None`` keeps the backend default.
+    """
 
     def __init__(self, model: Module, lr: float = 0.1, momentum: float = 0.9,
                  weight_decay: float = 1e-4,
-                 scheduler_factory=None):
+                 scheduler_factory=None, dtype=None):
         self.model = model
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        if self.dtype is not None:
+            model.astype(self.dtype)
         self.optimizer = SGD(model.parameters(), lr=lr, momentum=momentum,
                              weight_decay=weight_decay)
         self.scheduler: Optional[LRScheduler] = (
@@ -93,7 +111,7 @@ class ClassifierTrainer:
 
     def train_batch(self, images: np.ndarray, labels: np.ndarray) -> Tuple[float, float]:
         self.model.train()
-        logits = self.model(Tensor(images))
+        logits = self.model(Tensor(images, dtype=self.dtype))
         loss = cross_entropy(logits, labels)
         self.optimizer.zero_grad()
         loss.backward()
@@ -101,7 +119,7 @@ class ClassifierTrainer:
         return float(loss.data), accuracy(logits, labels)
 
     def evaluate(self, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
-        return evaluate_accuracy(self.model, loader)
+        return evaluate_accuracy(self.model, loader, dtype=self.dtype)
 
     def fit(self, train_loader, val_loader=None, epochs: int = 1) -> TrainingHistory:
         for epoch in range(1, epochs + 1):
@@ -129,6 +147,9 @@ class ALFTrainer:
     def __init__(self, model: Module, config: Optional[ALFConfig] = None):
         self.model = model
         self.config = (config or ALFConfig()).validate()
+        self.dtype = np.dtype(self.config.dtype) if self.config.dtype is not None else None
+        if self.dtype is not None:
+            model.astype(self.dtype)
         self.blocks: List[ALFConv2d] = alf_blocks(model)
         if not self.blocks:
             raise ValueError("model contains no ALF blocks; call convert_to_alf first")
@@ -165,7 +186,7 @@ class ALFTrainer:
         self.model.train()
 
         # --- Player 1: task optimizer ---------------------------------- #
-        logits = self.model(Tensor(images))
+        logits = self.model(Tensor(images, dtype=self.dtype))
         task_loss = cross_entropy(logits, labels)
         if self.config.weight_decay > 0 and self.regularized_params:
             task_loss = task_loss + l2_regularization(self.regularized_params) * self.config.weight_decay
@@ -188,7 +209,7 @@ class ALFTrainer:
     # Epoch-level API
     # ------------------------------------------------------------------ #
     def evaluate(self, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> float:
-        return evaluate_accuracy(self.model, loader)
+        return evaluate_accuracy(self.model, loader, dtype=self.dtype)
 
     def remaining_filter_fraction(self) -> float:
         """Fraction of code filters still active, across all ALF blocks."""

@@ -6,6 +6,7 @@ from typing import Callable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..nn.backend import get_default_dtype
 from .synthetic import SyntheticImageDataset
 
 
@@ -15,12 +16,17 @@ class DataLoader:
     Each iteration over the loader yields ``(images, labels)`` numpy pairs.
     Shuffling is re-drawn on every epoch from the loader's own RNG so runs
     are reproducible given the seed.
+
+    Batches are emitted in the execution engine's dtype — ``dtype`` if
+    given, else the active backend's default at iteration time — so a
+    float32 run never pays for a float64→float32 cast (or double-width
+    batches) inside the training loop.
     """
 
     def __init__(self, dataset: SyntheticImageDataset, batch_size: int = 32,
                  shuffle: bool = False, drop_last: bool = False,
                  augment: Optional[Callable[[np.ndarray, np.random.Generator], np.ndarray]] = None,
-                 seed: int = 0):
+                 seed: int = 0, dtype=None):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.dataset = dataset
@@ -28,7 +34,12 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self.augment = augment
+        self.dtype = np.dtype(dtype) if dtype is not None else None
         self._rng = np.random.default_rng(seed)
+
+    def _cast(self, images: np.ndarray) -> np.ndarray:
+        dtype = self.dtype if self.dtype is not None else get_default_dtype()
+        return images.astype(dtype, copy=False)
 
     def __len__(self) -> int:
         full, remainder = divmod(len(self.dataset), self.batch_size)
@@ -48,8 +59,8 @@ class DataLoader:
             labels = self.dataset.labels[batch]
             if self.augment is not None:
                 images = self.augment(images, self._rng)
-            yield images, labels
+            yield self._cast(images), labels
 
     def full_batch(self) -> Tuple[np.ndarray, np.ndarray]:
         """The entire dataset as a single batch (useful for evaluation)."""
-        return self.dataset.images, self.dataset.labels
+        return self._cast(self.dataset.images), self.dataset.labels

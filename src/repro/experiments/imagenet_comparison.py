@@ -94,9 +94,10 @@ def alf_resnet18_cost(remaining_fraction: float = 0.33, seed: int = 0) -> Dict[s
     blocks = convert_to_alf(model, ALFConfig(), rng=np.random.default_rng(seed + 1))
     for _, block in blocks:
         keep = max(1, int(round(block.out_channels * remaining_fraction)))
-        mask = np.zeros(block.out_channels)
+        target = block.autoencoder.pruning_mask.mask
+        mask = np.zeros(block.out_channels, dtype=target.data.dtype)
         mask[:keep] = 1.0
-        block.autoencoder.pruning_mask.mask.data = mask
+        target.data = mask
     profile = profile_model(model, IMAGENET_INPUT)
     return {"params": profile.total_params(), "ops": profile.total_ops()}
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.alf_block import ALFConv2d
 from ..core.deploy import CompressedConv2d
+from ..nn.backend import get_default_dtype
 from ..nn.layers import Conv2d, Linear
 from ..nn.module import Module
 from ..nn.tensor import Tensor
@@ -100,7 +101,10 @@ def profile_model(model: Module, input_shape: Tuple[int, int, int],
                 instrument(name or type(module).__name__.lower(), module)
         was_training = model.training
         model.eval()
-        dummy = Tensor(np.zeros((batch_size,) + tuple(input_shape)))
+        # Eval mode makes this forward tape-free; the dummy uses the
+        # backend default dtype so float32 models are profiled as float32.
+        dummy = Tensor(np.zeros((batch_size,) + tuple(input_shape),
+                                dtype=get_default_dtype()))
         model(dummy)
         model.train(was_training)
     finally:

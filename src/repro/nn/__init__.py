@@ -1,17 +1,41 @@
 """``repro.nn`` — a compact numpy deep-learning framework.
 
 This package is the training substrate for the ALF reproduction: a
-define-by-run autograd engine (:mod:`repro.nn.tensor`), functional ops
+tape-based autograd engine over pluggable array backends
+(:mod:`repro.nn.tensor`, :mod:`repro.nn.backend`), functional ops
 (:mod:`repro.nn.functional`), layers and containers, initializers,
 optimizers, losses and straight-through-estimator primitives.
+
+Execution is controlled by two orthogonal switches:
+
+* the **backend** (:func:`use_backend` / :func:`set_backend`) owns array
+  creation, einsum/matmul, the im2col conv lowering and the default dtype
+  (``"numpy"`` float64 by default, ``"numpy32"`` for the float32 fast
+  path, or any backend registered via :func:`register_backend`);
+* the **grad mode** (:func:`no_grad` / :func:`enable_grad`) decides
+  whether forward passes record tape nodes; eval-mode modules run
+  tape-free automatically.
 """
 
+from . import backend
 from . import functional
 from . import init
 from . import loss
 from . import optim
 from . import ste
 from . import utils
+from .backend import (
+    Backend,
+    NumpyBackend,
+    available_backends,
+    current_backend,
+    get_backend,
+    get_default_dtype,
+    register_backend,
+    set_backend,
+    set_default_dtype,
+    use_backend,
+)
 from .layers import (
     AvgPool2d,
     BatchNorm1d,
@@ -30,7 +54,24 @@ from .layers import (
 )
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
-from .tensor import Tensor, concatenate, ones, randn, stack, zeros
+from .tensor import (
+    Tensor,
+    add_op_hook,
+    apply_op,
+    concatenate,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    profile_ops,
+    randn,
+    register_op,
+    registered_ops,
+    remove_op_hook,
+    stack,
+    tape_nodes_created,
+    zeros,
+)
 
 __all__ = [
     "Tensor", "Parameter", "Module", "Sequential", "ModuleList",
@@ -38,6 +79,14 @@ __all__ = [
     "Identity", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten", "Dropout",
     "activation_module",
     "SGD", "Adam", "StepLR", "MultiStepLR", "CosineAnnealingLR",
-    "functional", "init", "loss", "optim", "ste", "utils",
+    "functional", "init", "loss", "optim", "ste", "utils", "backend",
     "concatenate", "stack", "zeros", "ones", "randn",
+    # engine: grad modes, tape introspection, op registry
+    "no_grad", "enable_grad", "is_grad_enabled", "tape_nodes_created",
+    "register_op", "registered_ops", "apply_op",
+    "add_op_hook", "remove_op_hook", "profile_ops",
+    # engine: backends
+    "Backend", "NumpyBackend", "available_backends", "current_backend",
+    "get_backend", "register_backend", "set_backend", "use_backend",
+    "get_default_dtype", "set_default_dtype",
 ]

@@ -1,0 +1,303 @@
+"""Pluggable array-execution backends for the ``repro.nn`` engine.
+
+Every array operation performed by the tensor/tape machinery and by the
+functional ops routes through one :class:`Backend` instance, which owns
+
+* array **creation** (``asarray`` / ``zeros`` / ``randn`` / ...),
+* the heavy **linear algebra** primitives (``matmul`` / ``einsum``),
+* the **im2col / col2im** convolution lowering, and
+* the **default floating dtype** used when tensors are built from python
+  data.
+
+The default is :class:`NumpyBackend` in float64 (the historical behaviour
+of the library), but alternative backends plug in by name through
+:func:`register_backend` — e.g. the registered ``"numpy32"`` backend runs
+the identical numpy code with a float32 default dtype (roughly half the
+memory traffic on the im2col hot path), and a future array-API / GPU
+backend only has to implement this surface.
+
+The process-wide default dtype can be selected without touching code via
+the ``REPRO_DEFAULT_DTYPE`` environment variable (e.g.
+``REPRO_DEFAULT_DTYPE=float32 python -m pytest``).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+BackendLike = Union[str, "Backend"]
+
+
+class Backend:
+    """Protocol for an array-execution backend.
+
+    Concrete backends subclass this and implement every primitive in terms
+    of their array library.  The base class only manages the default dtype
+    (shared by all implementations) and documents the required surface.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, dtype=np.float64):
+        self._default_dtype = np.dtype(dtype)
+
+    # ------------------------------------------------------------------ #
+    # Default dtype
+    # ------------------------------------------------------------------ #
+    @property
+    def default_dtype(self) -> np.dtype:
+        """Dtype used when tensors are constructed from python data."""
+        return self._default_dtype
+
+    def set_default_dtype(self, dtype) -> None:
+        self._default_dtype = np.dtype(dtype)
+
+    def with_dtype(self, dtype) -> "Backend":
+        """A shallow copy of this backend with a different default dtype."""
+        clone = copy.copy(self)
+        clone._default_dtype = np.dtype(dtype)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Array creation
+    # ------------------------------------------------------------------ #
+    def asarray(self, data, dtype=None) -> np.ndarray:
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype=None) -> np.ndarray:
+        raise NotImplementedError
+
+    def ones(self, shape, dtype=None) -> np.ndarray:
+        raise NotImplementedError
+
+    def zeros_like(self, array) -> np.ndarray:
+        raise NotImplementedError
+
+    def randn(self, shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Convolution lowering
+    # ------------------------------------------------------------------ #
+    def im2col(self, x: np.ndarray, kernel: Tuple[int, int],
+               stride: Tuple[int, int], padding: Tuple[int, int]
+               ) -> Tuple[np.ndarray, Tuple[int, int]]:
+        raise NotImplementedError
+
+    def col2im(self, cols: np.ndarray, input_shape: Tuple[int, int, int, int],
+               kernel: Tuple[int, int], stride: Tuple[int, int],
+               padding: Tuple[int, int], output_size: Tuple[int, int]
+               ) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, dtype={self.default_dtype})"
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+class NumpyBackend(Backend):
+    """Reference backend: plain numpy, einsum-lowered convolutions."""
+
+    name = "numpy"
+
+    # -- creation ------------------------------------------------------- #
+    def asarray(self, data, dtype=None) -> np.ndarray:
+        return np.asarray(data, dtype=dtype or self._default_dtype)
+
+    def zeros(self, shape, dtype=None) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype or self._default_dtype)
+
+    def ones(self, shape, dtype=None) -> np.ndarray:
+        return np.ones(shape, dtype=dtype or self._default_dtype)
+
+    def zeros_like(self, array) -> np.ndarray:
+        return np.zeros_like(array)
+
+    def randn(self, shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        return rng.standard_normal(shape).astype(self._default_dtype, copy=False)
+
+    # -- linear algebra ------------------------------------------------- #
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
+        return np.einsum(subscripts, *operands, optimize=True)
+
+    # -- convolution lowering ------------------------------------------- #
+    def im2col(self, x: np.ndarray, kernel: Tuple[int, int],
+               stride: Tuple[int, int], padding: Tuple[int, int]
+               ) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Lower a batched ``(N, C, H, W)`` image tensor to column form.
+
+        Returns ``(cols, (out_h, out_w))`` with ``cols`` of shape
+        ``(N, C * kh * kw, out_h * out_w)``.
+        """
+        n, c, h, w = x.shape
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        out_h = conv_output_size(h, kh, sh, ph)
+        out_w = conv_output_size(w, kw, sw, pw)
+
+        if ph or pw:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+        # Gather sliding windows with as_strided: result is
+        # (N, C, kh, kw, out_h, out_w) without copying.
+        strides = (
+            x.strides[0],
+            x.strides[1],
+            x.strides[2],
+            x.strides[3],
+            x.strides[2] * sh,
+            x.strides[3] * sw,
+        )
+        shape = (n, c, kh, kw, out_h, out_w)
+        windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+        cols = windows.reshape(n, c * kh * kw, out_h * out_w)
+        return np.ascontiguousarray(cols), (out_h, out_w)
+
+    def col2im(self, cols: np.ndarray, input_shape: Tuple[int, int, int, int],
+               kernel: Tuple[int, int], stride: Tuple[int, int],
+               padding: Tuple[int, int], output_size: Tuple[int, int]
+               ) -> np.ndarray:
+        """Inverse of :meth:`im2col` by scatter-add (conv backward)."""
+        n, c, h, w = input_shape
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        out_h, out_w = output_size
+
+        padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+        cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+        for i in range(kh):
+            i_end = i + sh * out_h
+            for j in range(kw):
+                j_end = j + sw * out_w
+                padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+        if ph or pw:
+            return padded[:, :, ph:ph + h, pw:pw + w]
+        return padded
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_FACTORIES: Dict[str, Callable[[], Backend]] = {}
+_INSTANCES: Dict[str, Backend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend],
+                     overwrite: bool = False) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is a zero-argument callable returning a :class:`Backend`;
+    it is invoked lazily on first :func:`get_backend` lookup and the
+    instance is cached.
+    """
+    key = name.lower()
+    if key in _FACTORIES and not overwrite:
+        raise ValueError(f"backend '{name}' is already registered")
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def available_backends() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def get_backend(backend: BackendLike) -> Backend:
+    """Resolve a backend by name (cached instance) or pass one through."""
+    if isinstance(backend, Backend):
+        return backend
+    key = str(backend).lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown backend '{backend}'; choose from {available_backends()}")
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _FACTORIES[key]()
+    return _INSTANCES[key]
+
+
+register_backend("numpy", lambda: NumpyBackend(np.float64))
+register_backend("numpy64", lambda: NumpyBackend(np.float64))
+register_backend("numpy32", lambda: NumpyBackend(np.float32))
+
+
+def _initial_backend() -> Backend:
+    env = os.environ.get("REPRO_DEFAULT_DTYPE", "").strip()
+    return NumpyBackend(np.dtype(env) if env else np.float64)
+
+
+_CURRENT: Backend = _initial_backend()
+
+
+def current_backend() -> Backend:
+    """The backend all tensor operations currently route through."""
+    return _CURRENT
+
+
+def set_backend(backend: BackendLike, dtype=None) -> Backend:
+    """Permanently switch the active backend (optionally overriding dtype)."""
+    global _CURRENT
+    resolved = get_backend(backend)
+    if dtype is not None and np.dtype(dtype) != resolved.default_dtype:
+        resolved = resolved.with_dtype(dtype)
+    _CURRENT = resolved
+    return resolved
+
+
+@contextmanager
+def use_backend(backend: Optional[BackendLike] = None, dtype=None):
+    """Scoped backend / default-dtype switch.
+
+    ``backend=None`` keeps the active backend (useful for a dtype-only
+    override); ``dtype=None`` keeps the backend's own default.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    target = get_backend(backend) if backend is not None else previous
+    if dtype is not None and np.dtype(dtype) != target.default_dtype:
+        target = target.with_dtype(dtype)
+    _CURRENT = target
+    try:
+        yield target
+    finally:
+        _CURRENT = previous
+
+
+def get_default_dtype() -> np.dtype:
+    """Default floating dtype of the active backend."""
+    return _CURRENT.default_dtype
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the default floating dtype of the active backend.
+
+    Replaces the active backend with a dtype-adjusted copy rather than
+    mutating it, so registry-cached instances (``get_backend("numpy32")``
+    etc.) are never corrupted by a process-wide dtype change.
+    """
+    global _CURRENT
+    if np.dtype(dtype) != _CURRENT.default_dtype:
+        _CURRENT = _CURRENT.with_dtype(dtype)

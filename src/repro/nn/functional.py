@@ -1,10 +1,16 @@
 """Functional neural-network operations for the ``repro.nn`` framework.
 
 Every function takes and returns :class:`~repro.nn.tensor.Tensor` objects
-and participates in the autograd graph.  Convolutions are implemented with
-an im2col lowering so that the heavy lifting is a single matrix multiply,
-which keeps pure-numpy training of the small CNNs used in the ALF paper
-tractable.
+and participates in the recorded-op tape.  Convolutions are implemented
+with an im2col lowering (owned by the active :mod:`repro.nn.backend`) so
+that the heavy lifting is a single einsum/matrix multiply, which keeps
+pure-numpy training of the small CNNs used in the ALF paper tractable.
+
+The conv/pool primitives are **registered ops** (see
+:func:`repro.nn.tensor.register_op`): their backward rules live next to
+the forward code, no per-call closures are allocated, and under
+:func:`~repro.nn.tensor.no_grad` the saved im2col columns are dropped
+immediately.
 """
 
 from __future__ import annotations
@@ -13,7 +19,8 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor, unbroadcast
+from .backend import conv_output_size, current_backend
+from .tensor import Tensor, apply_op, register_op, unbroadcast  # noqa: F401
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -24,83 +31,113 @@ def _pair(value: IntPair) -> Tuple[int, int]:
     return (int(value), int(value))
 
 
-def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Spatial output size of a convolution along one dimension."""
-    return (size + 2 * padding - kernel) // stride + 1
-
-
 # --------------------------------------------------------------------------- #
-# im2col / col2im
+# im2col / col2im (delegated to the active backend)
 # --------------------------------------------------------------------------- #
 def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
            padding: Tuple[int, int]) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Lower a batched image tensor to column form.
-
-    Parameters
-    ----------
-    x:
-        Input of shape ``(N, C, H, W)``.
-    kernel, stride, padding:
-        Convolution geometry as ``(h, w)`` pairs.
-
-    Returns
-    -------
-    cols:
-        Array of shape ``(N, C * kh * kw, out_h * out_w)``.
-    (out_h, out_w):
-        Spatial output size.
-    """
-    n, c, h, w = x.shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    out_h = conv_output_size(h, kh, sh, ph)
-    out_w = conv_output_size(w, kw, sw, pw)
-
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-
-    # Gather sliding windows with as_strided: result is
-    # (N, C, kh, kw, out_h, out_w) without copying.
-    strides = (
-        x.strides[0],
-        x.strides[1],
-        x.strides[2],
-        x.strides[3],
-        x.strides[2] * sh,
-        x.strides[3] * sw,
-    )
-    shape = (n, c, kh, kw, out_h, out_w)
-    windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    cols = windows.reshape(n, c * kh * kw, out_h * out_w)
-    return np.ascontiguousarray(cols), (out_h, out_w)
+    """Lower a batched image tensor to column form (backend-owned)."""
+    return current_backend().im2col(x, kernel, stride, padding)
 
 
 def col2im(cols: np.ndarray, input_shape: Tuple[int, int, int, int],
            kernel: Tuple[int, int], stride: Tuple[int, int],
            padding: Tuple[int, int], output_size: Tuple[int, int]) -> np.ndarray:
-    """Inverse of :func:`im2col` by scatter-add (used for conv backward)."""
-    n, c, h, w = input_shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
-    out_h, out_w = output_size
-
-    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
-    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
-    for i in range(kh):
-        i_end = i + sh * out_h
-        for j in range(kw):
-            j_end = j + sw * out_w
-            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
-    if ph or pw:
-        return padded[:, :, ph:ph + h, pw:pw + w]
-    return padded
+    """Inverse of :func:`im2col` by scatter-add (backend-owned)."""
+    return current_backend().col2im(cols, input_shape, kernel, stride,
+                                    padding, output_size)
 
 
 # --------------------------------------------------------------------------- #
-# Convolution / pooling
+# Convolution / pooling ops
 # --------------------------------------------------------------------------- #
+def _conv2d_fwd(x, weight, *bias, stride, padding):
+    backend = current_backend()
+    n, ci, h, w = x.shape
+    co, ci_w, kh, kw = weight.shape
+    if ci != ci_w:
+        raise ValueError(f"input channels ({ci}) do not match weight channels ({ci_w})")
+    cols, (out_h, out_w) = backend.im2col(x, (kh, kw), stride, padding)
+    w_mat = weight.reshape(co, -1)
+    out = backend.einsum("of,nfl->nol", w_mat, cols)
+    out = out.reshape(n, co, out_h, out_w)
+    if bias:
+        out = out + bias[0].reshape(1, co, 1, 1)
+    ctx = (cols, w_mat, x.shape, weight.shape, (kh, kw), stride, padding,
+           (out_h, out_w), bias[0].shape if bias else None)
+    return out, ctx
+
+
+def _conv2d_bwd(ctx, grad, needs):
+    backend = current_backend()
+    cols, w_mat, x_shape, w_shape, kernel, stride, padding, out_hw, b_shape = ctx
+    n = x_shape[0]
+    co = w_shape[0]
+    out_h, out_w = out_hw
+    grad_mat = grad.reshape(n, co, out_h * out_w)
+    grad_x = grad_w = grad_b = None
+    if needs[1]:
+        grad_w = backend.einsum("nol,nfl->of", grad_mat, cols).reshape(w_shape)
+    if needs[0]:
+        grad_cols = backend.einsum("of,nol->nfl", w_mat, grad_mat)
+        grad_x = backend.col2im(grad_cols, x_shape, kernel, stride, padding, out_hw)
+    if len(needs) > 2 and needs[2]:
+        grad_b = grad.sum(axis=(0, 2, 3)).reshape(b_shape)
+    return (grad_x, grad_w, grad_b)[:len(needs)]
+
+
+def _max_pool2d_fwd(x, *, kernel, stride):
+    backend = current_backend()
+    n, c, h, w = x.shape
+    cols, (out_h, out_w) = backend.im2col(x, kernel, stride, (0, 0))
+    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out = out.reshape(n, c, out_h, out_w)
+    return out, (argmax, x.shape, kernel, stride, (out_h, out_w))
+
+
+def _max_pool2d_bwd(ctx, grad, needs):
+    backend = current_backend()
+    argmax, x_shape, kernel, stride, (out_h, out_w) = ctx
+    n, c, _, _ = x_shape
+    window = kernel[0] * kernel[1]
+    grad_cols = np.zeros((n, c, window, out_h * out_w), dtype=grad.dtype)
+    np.put_along_axis(
+        grad_cols, argmax[:, :, None, :], grad.reshape(n, c, 1, out_h * out_w), axis=2
+    )
+    grad_cols = grad_cols.reshape(n, c * window, out_h * out_w)
+    return (backend.col2im(grad_cols, x_shape, kernel, stride, (0, 0),
+                           (out_h, out_w)),)
+
+
+def _avg_pool2d_fwd(x, *, kernel, stride):
+    backend = current_backend()
+    n, c, h, w = x.shape
+    cols, (out_h, out_w) = backend.im2col(x, kernel, stride, (0, 0))
+    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    return out, (x.shape, kernel, stride, (out_h, out_w))
+
+
+def _avg_pool2d_bwd(ctx, grad, needs):
+    backend = current_backend()
+    x_shape, kernel, stride, (out_h, out_w) = ctx
+    n, c, _, _ = x_shape
+    window = kernel[0] * kernel[1]
+    grad_cols = np.broadcast_to(
+        grad.reshape(n, c, 1, out_h * out_w) / window,
+        (n, c, window, out_h * out_w),
+    ).reshape(n, c * window, out_h * out_w)
+    return (backend.col2im(np.ascontiguousarray(grad_cols), x_shape, kernel,
+                           stride, (0, 0), (out_h, out_w)),)
+
+
+_CONV2D = register_op("conv2d", _conv2d_fwd, _conv2d_bwd)
+_MAX_POOL2D = register_op("max_pool2d", _max_pool2d_fwd, _max_pool2d_bwd)
+_AVG_POOL2D = register_op("avg_pool2d", _avg_pool2d_fwd, _avg_pool2d_bwd)
+
+
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
            stride: IntPair = 1, padding: IntPair = 0) -> Tensor:
     """2D convolution.
@@ -110,81 +147,23 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     """
     stride = _pair(stride)
     padding = _pair(padding)
-    n, ci, h, w = x.shape
-    co, ci_w, kh, kw = weight.shape
-    if ci != ci_w:
-        raise ValueError(f"input channels ({ci}) do not match weight channels ({ci_w})")
-
-    cols, (out_h, out_w) = im2col(x.data, (kh, kw), stride, padding)
-    w_mat = weight.data.reshape(co, -1)
-    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
-    out = out.reshape(n, co, out_h, out_w)
-    if bias is not None:
-        out = out + bias.data.reshape(1, co, 1, 1)
-
-    parents = (x, weight) if bias is None else (x, weight, bias)
-
-    def backward(grad: np.ndarray) -> None:
-        grad_mat = grad.reshape(n, co, out_h * out_w)
-        if weight.requires_grad:
-            grad_w = np.einsum("nol,nfl->of", grad_mat, cols, optimize=True)
-            weight._accumulate_grad(grad_w.reshape(weight.shape))
-        if x.requires_grad:
-            grad_cols = np.einsum("of,nol->nfl", w_mat, grad_mat, optimize=True)
-            grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding, (out_h, out_w))
-            x._accumulate_grad(grad_x)
-        if bias is not None and bias.requires_grad:
-            bias._accumulate_grad(grad.sum(axis=(0, 2, 3)).reshape(bias.shape))
-
-    return Tensor._make(out, parents, backward)
+    if bias is None:
+        return apply_op(_CONV2D, x, weight, stride=stride, padding=padding)
+    return apply_op(_CONV2D, x, weight, bias, stride=stride, padding=padding)
 
 
 def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
     """Max pooling over non-overlapping (or strided) spatial windows."""
     kernel = _pair(kernel_size)
     stride = _pair(stride) if stride is not None else kernel
-    n, c, h, w = x.shape
-    cols, (out_h, out_w) = im2col(x.data, kernel, stride, (0, 0))
-    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
-    argmax = cols.argmax(axis=2)
-    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
-    out = out.reshape(n, c, out_h, out_w)
-
-    def backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        grad_cols = np.zeros((n, c, kernel[0] * kernel[1], out_h * out_w), dtype=grad.dtype)
-        np.put_along_axis(
-            grad_cols, argmax[:, :, None, :], grad.reshape(n, c, 1, out_h * out_w), axis=2
-        )
-        grad_cols = grad_cols.reshape(n, c * kernel[0] * kernel[1], out_h * out_w)
-        grad_x = col2im(grad_cols, x.shape, kernel, stride, (0, 0), (out_h, out_w))
-        x._accumulate_grad(grad_x)
-
-    return Tensor._make(out, (x,), backward)
+    return apply_op(_MAX_POOL2D, x, kernel=kernel, stride=stride)
 
 
 def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
     """Average pooling over spatial windows."""
     kernel = _pair(kernel_size)
     stride = _pair(stride) if stride is not None else kernel
-    n, c, h, w = x.shape
-    cols, (out_h, out_w) = im2col(x.data, kernel, stride, (0, 0))
-    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
-    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
-    window = kernel[0] * kernel[1]
-
-    def backward(grad: np.ndarray) -> None:
-        if not x.requires_grad:
-            return
-        grad_cols = np.broadcast_to(
-            grad.reshape(n, c, 1, out_h * out_w) / window,
-            (n, c, window, out_h * out_w),
-        ).reshape(n, c * window, out_h * out_w)
-        grad_x = col2im(np.ascontiguousarray(grad_cols), x.shape, kernel, stride, (0, 0), (out_h, out_w))
-        x._accumulate_grad(grad_x)
-
-    return Tensor._make(out, (x,), backward)
+    return apply_op(_AVG_POOL2D, x, kernel=kernel, stride=stride)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -230,8 +209,8 @@ def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
         running_var += momentum * var.data.reshape(-1)
         x_hat = (x - mean) / (var + eps) ** 0.5
     else:
-        mean = Tensor(running_mean.reshape(shape))
-        var = Tensor(running_var.reshape(shape))
+        mean = Tensor(running_mean.reshape(shape).astype(x.data.dtype, copy=False))
+        var = Tensor(running_var.reshape(shape).astype(x.data.dtype, copy=False))
         x_hat = (x - mean) / (var + eps) ** 0.5
 
     return x_hat * gamma.reshape(shape) + beta.reshape(shape)
@@ -244,7 +223,7 @@ def dropout(x: Tensor, p: float, training: bool,
         return x
     rng = rng or np.random.default_rng()
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
-    return x * Tensor(mask)
+    return x * Tensor(mask.astype(x.data.dtype, copy=False))
 
 
 # --------------------------------------------------------------------------- #

@@ -2,7 +2,9 @@
 
 The ALF paper's design-space exploration (Fig. 2a/2b) compares He [24],
 Xavier [25] and plain random initialization for the expansion layer and
-the autoencoder weights, so every scheme is addressable by name.
+the autoencoder weights, so every scheme is addressable by name.  Every
+initializer emits arrays in the active backend's default dtype so models
+built under a float32 backend are float32 end to end.
 """
 
 from __future__ import annotations
@@ -10,6 +12,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .backend import get_default_dtype
 
 
 def _fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
@@ -34,7 +38,7 @@ def he_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -
     rng = rng or np.random.default_rng()
     fan_in, _ = _fan_in_out(shape)
     std = np.sqrt(2.0 / max(1, fan_in))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def he_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -42,7 +46,7 @@ def he_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) 
     rng = rng or np.random.default_rng()
     fan_in, _ = _fan_in_out(shape)
     bound = np.sqrt(6.0 / max(1, fan_in))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -50,7 +54,7 @@ def xavier_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = Non
     rng = rng or np.random.default_rng()
     fan_in, fan_out = _fan_in_out(shape)
     std = np.sqrt(2.0 / max(1, fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -58,22 +62,22 @@ def xavier_uniform(shape: Sequence[int], rng: Optional[np.random.Generator] = No
     rng = rng or np.random.default_rng()
     fan_in, fan_out = _fan_in_out(shape)
     bound = np.sqrt(6.0 / max(1, fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def random_normal(shape: Sequence[int], rng: Optional[np.random.Generator] = None,
                   std: float = 0.05) -> np.ndarray:
     """Plain random normal initialization (the "rand" option in Fig. 2b)."""
     rng = rng or np.random.default_rng()
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: Sequence[int], rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 INITIALIZERS: Dict[str, Callable] = {

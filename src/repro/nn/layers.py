@@ -34,7 +34,7 @@ class Conv2d(Module):
         initializer = init_mod.get_initializer(weight_init)
         shape = (out_channels, in_channels) + self.kernel_size
         self.weight = Parameter(initializer(shape, rng=rng))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.bias = Parameter(init_mod.zeros((out_channels,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
@@ -60,7 +60,7 @@ class Linear(Module):
         self.out_features = out_features
         initializer = init_mod.get_initializer(weight_init)
         self.weight = Parameter(initializer((out_features, in_features), rng=rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(init_mod.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         return F.linear(x, self.weight, self.bias)
@@ -77,10 +77,10 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_features))
-        self.beta = Parameter(np.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.gamma = Parameter(init_mod.ones((num_features,)))
+        self.beta = Parameter(init_mod.zeros((num_features,)))
+        self.register_buffer("running_mean", init_mod.zeros((num_features,)))
+        self.register_buffer("running_var", init_mod.ones((num_features,)))
 
     def forward(self, x: Tensor) -> Tensor:
         return F.batch_norm(

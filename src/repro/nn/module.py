@@ -12,7 +12,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, grad_mode_override, no_grad
 
 
 class Parameter(Tensor):
@@ -95,7 +95,28 @@ class Module:
         return self
 
     def eval(self) -> "Module":
+        """Switch to inference mode.
+
+        Besides flipping layer behaviour (BatchNorm running stats, Dropout
+        off), an eval-mode module is executed under
+        :func:`~repro.nn.tensor.no_grad`: its forward passes build no tape
+        nodes at all.  Wrap the call in
+        :func:`~repro.nn.tensor.enable_grad` when gradients through an
+        eval-mode forward are explicitly needed (e.g. gradcheck).
+        """
         return self.train(False)
+
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter and floating buffer to ``dtype`` in place."""
+        dtype = np.dtype(dtype)
+        for module in self.modules():
+            for param in module._parameters.values():
+                if param is not None and param.data.dtype.kind == "f":
+                    param.data = param.data.astype(dtype, copy=False)
+            for name, buf in list(module._buffers.items()):
+                if isinstance(buf, np.ndarray) and buf.dtype.kind == "f":
+                    module.register_buffer(name, buf.astype(dtype, copy=False))
+        return self
 
     def zero_grad(self) -> None:
         for param in self.parameters():
@@ -139,6 +160,15 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        # Eval-mode modules run tape-free unless an explicit grad-mode
+        # override (no_grad / enable_grad) is already in force, or a graph
+        # is flowing through the inputs (e.g. a frozen submodule inside a
+        # training forward must not detach its upstream layers).
+        if (not self.training and grad_mode_override() is None
+                and not any(isinstance(a, Tensor) and a.requires_grad
+                            for a in (*args, *kwargs.values()))):
+            with no_grad():
+                return self.forward(*args, **kwargs)
         return self.forward(*args, **kwargs)
 
     def __repr__(self) -> str:

@@ -61,7 +61,10 @@ class SGD(Optimizer):
                     grad = grad + self.momentum * velocity
                 else:
                     grad = velocity
-            param.data = param.data - self.lr * grad
+            # In-place update: old tape nodes are never replayed after a
+            # step, so mutating the parameter array is safe and avoids one
+            # full-size allocation per parameter per step.
+            param.data -= (self.lr * grad).astype(param.data.dtype, copy=False)
 
 
 class Adam(Optimizer):
@@ -93,7 +96,8 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad * grad
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data -= update.astype(param.data.dtype, copy=False)
 
 
 class LRScheduler:

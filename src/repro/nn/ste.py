@@ -1,4 +1,4 @@
-"""Straight-Through Estimator (STE) primitives.
+"""Straight-Through Estimator (STE) primitives as registered tape ops.
 
 The ALF training procedure relies on the STE in two places (Eqs. 5 and 6 of
 the paper):
@@ -7,7 +7,7 @@ the paper):
   the gradient of the task loss with respect to the original filters ``W``
   must skip the encoder matmul and the Hadamard product with the pruning
   mask (otherwise zeroed mask entries would block the information flow).
-  :func:`ste_bridge` builds a graph node carrying ``Wcode``'s values whose
+  :func:`ste_bridge` builds a tape node carrying ``Wcode``'s values whose
   backward pass hands the incoming gradient to ``W`` unchanged.
 
 * **Autoencoder path** — the pruning mask ``M`` is clipped to exactly zero
@@ -19,7 +19,39 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, apply_op, register_op
+
+
+def _ste_bridge_fwd(source, *, values):
+    return values, None
+
+
+def _ste_identity_bwd(ctx, grad, needs):
+    return (grad,)
+
+
+def _clip_mask_fwd(mask, *, threshold):
+    keep = np.abs(mask) > threshold
+    return mask * keep, None
+
+
+def _round_fwd(x):
+    return np.round(x), None
+
+
+def _sign_fwd(x):
+    return np.where(x >= 0, 1.0, -1.0).astype(x.dtype, copy=False), x
+
+
+def _sign_bwd(ctx, grad, needs):
+    # Clip the gradient to the linear region like Hubara et al. (2016).
+    return (grad * (np.abs(ctx) <= 1.0),)
+
+
+_STE_BRIDGE = register_op("ste_bridge", _ste_bridge_fwd, _ste_identity_bwd)
+_CLIP_MASK = register_op("clip_mask", _clip_mask_fwd, _ste_identity_bwd)
+_ROUND_STE = register_op("round_ste", _round_fwd, _ste_identity_bwd)
+_SIGN_STE = register_op("sign_ste", _sign_fwd, _sign_bwd)
 
 
 def ste_bridge(values: np.ndarray, source: Tensor) -> Tensor:
@@ -34,12 +66,7 @@ def ste_bridge(values: np.ndarray, source: Tensor) -> Tensor:
         raise ValueError(
             f"STE bridge requires matching shapes, got {values.shape} vs {source.data.shape}"
         )
-
-    def backward(grad: np.ndarray) -> None:
-        if source.requires_grad:
-            source._accumulate_grad(grad)
-
-    return Tensor._make(values.copy(), (source,), backward)
+    return apply_op(_STE_BRIDGE, source, values=values.copy())
 
 
 def clip_mask(mask: Tensor, threshold: float) -> Tensor:
@@ -48,14 +75,7 @@ def clip_mask(mask: Tensor, threshold: float) -> Tensor:
     Forward: ``Mprune = 1{|m| > t} * m``.  Backward: identity, so the mask can
     recover channels that were temporarily clipped (Sec. III-A).
     """
-    keep = np.abs(mask.data) > threshold
-    values = mask.data * keep
-
-    def backward(grad: np.ndarray) -> None:
-        if mask.requires_grad:
-            mask._accumulate_grad(grad)
-
-    return Tensor._make(values, (mask,), backward)
+    return apply_op(_CLIP_MASK, mask, threshold=threshold)
 
 
 def binary_indicator(mask: Tensor, threshold: float) -> np.ndarray:
@@ -69,22 +89,9 @@ def round_ste(x: Tensor) -> Tensor:
     Not used by the core ALF algorithm but provided for the quantization
     experiments that the paper describes as orthogonal follow-up work.
     """
-    values = np.round(x.data)
-
-    def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            x._accumulate_grad(grad)
-
-    return Tensor._make(values, (x,), backward)
+    return apply_op(_ROUND_STE, x)
 
 
 def sign_ste(x: Tensor) -> Tensor:
     """Binarize to {-1, +1} with straight-through gradients (BNN-style)."""
-    values = np.where(x.data >= 0, 1.0, -1.0)
-
-    def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            # Clip the gradient to the linear region like Hubara et al. (2016).
-            x._accumulate_grad(grad * (np.abs(x.data) <= 1.0))
-
-    return Tensor._make(values, (x,), backward)
+    return apply_op(_SIGN_STE, x)

@@ -230,8 +230,11 @@ class TestLowRank:
     def test_full_rank_reconstruction_is_exact(self, rng):
         conv = Conv2d(2, 4, 3, rng=rng)
         factorization = LowRankDecomposer(rank_fraction=1.0).decompose_layer("c", conv)
-        assert np.allclose(factorization.reconstruct(), conv.weight.data, atol=1e-8)
-        assert factorization.approximation_error == pytest.approx(0.0, abs=1e-8)
+        # "Exact" up to the working precision of the engine's default dtype
+        # (the float32 fast path carries ~1e-7 relative SVD round-off).
+        tol = 1e-8 if conv.weight.dtype == np.float64 else 1e-5
+        assert np.allclose(factorization.reconstruct(), conv.weight.data, atol=tol)
+        assert factorization.approximation_error == pytest.approx(0.0, abs=tol)
 
     def test_energy_threshold_selection(self, rng):
         conv = Conv2d(2, 8, 3, rng=rng)

@@ -1,0 +1,164 @@
+"""Finite-difference gradient checks across the ``nn.functional`` ops.
+
+Every registered functional op (conv2d, the pools, batch_norm,
+softmax/log_softmax, dropout in eval) is verified against central finite
+differences in **both float32 and float64**, exercising the tape engine's
+registered backward rules in the dtype of the fast path as well as the
+reference dtype.
+
+The numeric gradient is always accumulated in float64 (perturbing a
+float32 input but reading the loss in full precision) so the check
+measures the analytic rule's correctness, not float32 round-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, enable_grad
+
+#: (eps, atol, rtol) per dtype: float32 needs a coarser step and looser
+#: tolerances because the forward itself rounds to ~1e-7.
+TOLERANCES = {
+    np.float64: (1e-6, 1e-7, 1e-5),
+    np.float32: (1e-3, 2e-3, 2e-2),
+}
+
+
+def gradcheck(fn, *arrays, dtype=np.float64, seed=0):
+    """Check the analytic gradient of ``fn`` w.r.t. every input array.
+
+    ``fn`` maps Tensors to one output Tensor of any shape; the output is
+    reduced to a scalar with a fixed random weighting so every output
+    element contributes to the check.  Raises ``AssertionError`` with a
+    diagnostic on mismatch; returns ``True`` otherwise.
+    """
+    dtype = np.dtype(dtype)
+    eps, atol, rtol = TOLERANCES[dtype.type]
+    arrays = [np.asarray(a, dtype=dtype) for a in arrays]
+    weights = np.random.default_rng(seed).standard_normal(
+        fn(*[Tensor(a) for a in arrays]).shape)
+
+    def scalar(values) -> float:
+        out = fn(*[Tensor(v) for v in values])
+        return float(np.sum(out.data.astype(np.float64) * weights))
+
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    (out * Tensor(weights.astype(dtype))).sum().backward()
+
+    for index, (tensor, base) in enumerate(zip(tensors, arrays)):
+        assert tensor.grad is not None, f"input {index} received no gradient"
+        analytic = tensor.grad.astype(np.float64)
+        numeric = np.zeros(base.shape, dtype=np.float64)
+        flat = base.reshape(-1)
+        num_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            upper = scalar(arrays)
+            flat[i] = original - eps
+            lower = scalar(arrays)
+            flat[i] = original
+            num_flat[i] = (upper - lower) / (2.0 * eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {index} ({dtype}): "
+                f"max abs error {max_err:.3e}")
+    return True
+
+
+@pytest.fixture(params=[np.float64, np.float32], ids=["float64", "float32"])
+def dtype(request):
+    return request.param
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestFunctionalGradcheck:
+    def test_conv2d(self, dtype, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3)) * 0.5
+        b = rng.standard_normal(4)
+        gradcheck(lambda x_, w_, b_: F.conv2d(x_, w_, b_, stride=2, padding=1),
+                  x, w, b, dtype=dtype)
+
+    def test_conv2d_no_bias(self, dtype, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3)) * 0.5
+        gradcheck(lambda x_, w_: F.conv2d(x_, w_, stride=1, padding=0),
+                  x, w, dtype=dtype)
+
+    def test_max_pool2d(self, dtype, rng):
+        # A distinct-valued input avoids window ties, where the subgradient
+        # choice (split between ties) legitimately differs from the
+        # one-sided numeric estimate.
+        x = rng.permutation(2 * 3 * 16).reshape(2, 3, 4, 4) * 0.1
+        gradcheck(lambda x_: F.max_pool2d(x_, 2), x, dtype=dtype)
+
+    def test_avg_pool2d(self, dtype, rng):
+        x = rng.standard_normal((2, 2, 6, 6))
+        gradcheck(lambda x_: F.avg_pool2d(x_, 3, stride=3), x, dtype=dtype)
+
+    def test_global_avg_pool2d(self, dtype, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        gradcheck(F.global_avg_pool2d, x, dtype=dtype)
+
+    def test_linear(self, dtype, rng):
+        x = rng.standard_normal((4, 5))
+        w = rng.standard_normal((3, 5))
+        b = rng.standard_normal(3)
+        gradcheck(F.linear, x, w, b, dtype=dtype)
+
+    def test_batch_norm_training(self, dtype, rng):
+        x = rng.standard_normal((4, 3, 2, 2)) * 2.0
+        gamma = rng.standard_normal(3) * 0.5 + 1.0
+        beta = rng.standard_normal(3)
+
+        def fn(x_, g_, b_):
+            running_mean = np.zeros(3, dtype=dtype)
+            running_var = np.ones(3, dtype=dtype)
+            return F.batch_norm(x_, g_, b_, running_mean, running_var,
+                                training=True)
+
+        gradcheck(fn, x, gamma, beta, dtype=dtype)
+
+    def test_batch_norm_eval(self, dtype, rng):
+        x = rng.standard_normal((4, 3))
+        gamma = np.ones(3)
+        beta = np.zeros(3)
+        running_mean = rng.standard_normal(3).astype(dtype)
+        running_var = (rng.random(3) + 0.5).astype(dtype)
+
+        def fn(x_, g_, b_):
+            return F.batch_norm(x_, g_, b_, running_mean, running_var,
+                                training=False)
+
+        gradcheck(fn, x, gamma, beta, dtype=dtype)
+
+    def test_softmax(self, dtype, rng):
+        x = rng.standard_normal((3, 5))
+        gradcheck(lambda x_: F.softmax(x_, axis=1), x, dtype=dtype)
+
+    def test_log_softmax(self, dtype, rng):
+        x = rng.standard_normal((3, 5))
+        gradcheck(lambda x_: F.log_softmax(x_, axis=1), x, dtype=dtype)
+
+    def test_dropout_eval_is_identity_gradient(self, dtype, rng):
+        # With an explicit enable_grad, gradients flow through the
+        # eval-mode (identity) dropout path even inside no-grad contexts.
+        x = rng.standard_normal((4, 4))
+        with enable_grad():
+            gradcheck(lambda x_: F.dropout(x_, p=0.5, training=False),
+                      x, dtype=dtype)
+
+    def test_relu_away_from_kink(self, dtype, rng):
+        x = rng.standard_normal((5, 5))
+        x = np.where(np.abs(x) < 0.1, 0.5, x)  # keep clear of the kink
+        gradcheck(F.relu, x, dtype=dtype)
