@@ -1,0 +1,136 @@
+"""Benchmark — sharded ``run_sweep()``: serial vs. parallel wall-clock.
+
+Measures what the sweep executor layer is for: overlapping per-spec work
+that does not saturate the interpreter.  The workload is a registered
+benchmark-only method whose ``fit`` stalls for a fixed interval before a
+real magnitude-pruning pass — the profile of production sweeps whose specs
+block on data loading / IO — so the measured speedup reflects the
+executor's ability to overlap shards (and its scheduling + pickling
+overhead) independent of how many cores the CI host happens to expose
+(this container exposes a single core, where purely CPU-bound shards
+cannot speed up no matter the executor).
+
+Recorded into ``BENCH_engine.json``:
+
+* ``serial_seconds`` / ``thread_seconds_4workers`` /
+  ``process_seconds_4workers`` — wall-clock of the identical sweep under
+  each strategy;
+* ``speedup_4workers`` — serial / process, asserted ≥ 1.5x;
+* ``merge_overhead_seconds`` — the parent-side cost of transporting and
+  merging all shard reports (pickle round-trip + dense-baseline rebind);
+* ``host_cpus`` — for interpreting the numbers across machines.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.api as api
+from repro.api.adapters import MagnitudeMethod
+from repro.api.spec import MagnitudeSpec
+from repro.models import lenet
+
+from conftest import record_metric, run_once
+
+NUM_SPECS = 8
+STALL_SECONDS = 0.3
+WORKERS = 4
+INPUT_SHAPE = (1, 12, 12)
+
+
+@dataclass
+class StallConfig(MagnitudeSpec):
+    """Magnitude pruning with a fixed fit-time stall (benchmark only)."""
+
+    stall_seconds: float = STALL_SECONDS
+
+
+def _register_stall_method() -> str:
+    @api.register_method("bench-stall", StallConfig, policy="—",
+                         summary="magnitude pruning behind a data-stall "
+                                 "(benchmark only)")
+    class StallMethod(MagnitudeMethod):
+        def fit(self, train_loader=None, val_loader=None, epochs: int = 0):
+            time.sleep(self.config.stall_seconds)
+            return super().fit(train_loader, val_loader, epochs)
+
+    return "bench-stall"
+
+
+def _table(sweep: api.SweepResult):
+    return [(r.spec.display_label, r.cost["params"], r.cost["ops"])
+            for r in sweep.reports]
+
+
+def _timed_sweep(model, specs, executor: str, max_workers=None):
+    start = time.perf_counter()
+    sweep = api.run_sweep(specs, model=model, hardware=None,
+                          input_shape=INPUT_SHAPE, executor=executor,
+                          max_workers=max_workers)
+    return sweep, time.perf_counter() - start
+
+
+def _merge_overhead(sweep: api.SweepResult) -> float:
+    """Parent-side transport + merge cost for all shard reports."""
+    start = time.perf_counter()
+    payload = [pickle.loads(pickle.dumps(report)) for report in sweep.reports]
+    for report in payload:
+        report.dense = sweep.dense
+        report.dense_hardware = sweep.dense.hardware
+    return time.perf_counter() - start
+
+
+def test_bench_sweep_sharding(benchmark):
+    method = _register_stall_method()
+    try:
+        model = lenet(num_classes=4, in_channels=1, width=8,
+                      rng=np.random.default_rng(0))
+        specs = [api.CompressionSpec(method=method, config=StallConfig(),
+                                     label=f"stall-{index}")
+                 for index in range(NUM_SPECS)]
+
+        serial, serial_seconds = _timed_sweep(model, specs, "serial")
+        thread, thread_seconds = _timed_sweep(model, specs, "thread", WORKERS)
+
+        # The process run carries the pedantic benchmark timing so the
+        # JSON wall_clock_seconds entry is the sharded sweep itself.
+        process = run_once(
+            benchmark,
+            lambda: api.run_sweep(specs, model=copy.deepcopy(model),
+                                  hardware=None, input_shape=INPUT_SHAPE,
+                                  executor="process", max_workers=WORKERS))
+        _, process_seconds = _timed_sweep(model, specs, "process", WORKERS)
+
+        speedup = serial_seconds / process_seconds
+        merge_overhead = _merge_overhead(serial)
+
+        record_metric("host_cpus", os.cpu_count())
+        record_metric("num_specs", NUM_SPECS)
+        record_metric("stall_seconds_per_spec", STALL_SECONDS)
+        record_metric("serial_seconds", round(serial_seconds, 4))
+        record_metric("thread_seconds_4workers", round(thread_seconds, 4))
+        record_metric("process_seconds_4workers", round(process_seconds, 4))
+        record_metric("speedup_4workers", round(speedup, 3))
+        record_metric("merge_overhead_seconds", round(merge_overhead, 4))
+
+        print(f"\nsweep sharding ({NUM_SPECS} specs, "
+              f"{STALL_SECONDS}s stall each, {WORKERS} workers):")
+        print(f"  serial : {serial_seconds:.3f}s")
+        print(f"  thread : {thread_seconds:.3f}s")
+        print(f"  process: {process_seconds:.3f}s  "
+              f"({speedup:.2f}x vs serial)")
+        print(f"  merge overhead: {merge_overhead * 1e3:.1f}ms")
+
+        # The parallel strategies must reproduce the serial tables exactly.
+        assert _table(serial) == _table(thread) == _table(process)
+        assert speedup >= 1.5, (
+            f"process executor with {WORKERS} workers only reached "
+            f"{speedup:.2f}x over serial")
+    finally:
+        api.unregister_method(method)

@@ -7,6 +7,7 @@ decomposition and ALF — on a shared ResNet-20 at CIFAR-10 geometry, with the
 dense profile and the Eyeriss hardware evaluation computed once.
 
 Run:  python examples/baseline_comparison.py [--no-hardware]
+      python examples/baseline_comparison.py --executor process --workers 4
 """
 
 import argparse
@@ -19,9 +20,16 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--no-hardware", action="store_true",
                         help="skip the Eyeriss energy/latency stage")
+    parser.add_argument("--executor", default=None,
+                        choices=api.available_executors(),
+                        help="sweep sharding strategy (default: serial, or "
+                             "REPRO_SWEEP_EXECUTOR)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker cap for thread/process executors")
     args = parser.parse_args()
 
-    sweep = api.run_sweep(hardware=None if args.no_hardware else api.EYERISS_PAPER)
+    sweep = api.run_sweep(hardware=None if args.no_hardware else api.EYERISS_PAPER,
+                          executor=args.executor, max_workers=args.workers)
     print(sweep.render(title="Compression methods on ResNet-20 @ CIFAR-10 geometry"))
 
     cheapest = min(sweep.reports, key=lambda r: r.cost["ops"])

@@ -20,13 +20,19 @@ def main():
                         help="size of the proxy training runs behind the accuracy column")
     parser.add_argument("--skip-accuracy", action="store_true",
                         help="only compute the (exact) Params / OPs columns")
+    parser.add_argument("--executor", default=None,
+                        help="sweep executor for the cost columns "
+                             "(serial/thread/process)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker cap for the cost-column sweep")
     args = parser.parse_args()
 
     print("=" * 72)
     print("Table II — pruned CNNs on CIFAR-10 (conv layers only)")
     print("=" * 72)
     result = cifar_comparison.run(scale=args.scale,
-                                  measure_accuracy=not args.skip_accuracy)
+                                  measure_accuracy=not args.skip_accuracy,
+                                  workers=args.workers, executor=args.executor)
     print(result.render())
 
     reductions = cifar_comparison.headline_reductions(result)

@@ -24,6 +24,10 @@ def main():
                         help="batch size, as used in the paper's hardware study")
     parser.add_argument("--remaining", type=float, default=0.386,
                         help="fraction of code filters kept per ALF block")
+    parser.add_argument("--executor", default=None,
+                        help="sweep executor (serial/thread/process)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker cap for the sweep executor")
     args = parser.parse_args()
 
     spec = EYERISS_PAPER
@@ -33,7 +37,8 @@ def main():
           f"{spec.word_bits}-bit words")
 
     result = hardware_breakdown.run(architecture=args.arch, batch=args.batch,
-                                    remaining_fraction=args.remaining)
+                                    remaining_fraction=args.remaining,
+                                    workers=args.workers, executor=args.executor)
     print()
     print(f"{'Layer':>9} | {'vanilla energy':>16} | {'ALF energy':>12} | "
           f"{'vanilla latency':>15} | {'ALF latency':>12}")

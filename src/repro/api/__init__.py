@@ -20,7 +20,14 @@ Public surface
     :class:`CompressionReport`.
 :func:`run_sweep`
     Batch runner over many :class:`CompressionSpec`, with the model,
-    loaders, dense profile and dense hardware evaluation shared.
+    loaders, dense profile and dense hardware evaluation shared.  Shards
+    across workers via ``executor="thread"`` / ``"process"`` (or the
+    ``REPRO_SWEEP_EXECUTOR`` environment variable) with a deterministic,
+    spec-ordered merge; ``on_error="skip"`` keeps healthy shards when a
+    spec raises.
+:class:`SweepExecutor` / :func:`register_executor` / :func:`available_executors`
+    The string-keyed executor registry (``"serial"``, ``"thread"``,
+    ``"process"``).
 :class:`CompressionMethod` / :class:`CompressedModel`
     The protocol every method adapter implements, and its output.
 :func:`available_methods` / :func:`get_method` / :func:`register_method`
@@ -41,6 +48,19 @@ from .adapters import (
     evaluate_accuracy,
     pruned_conv_shapes,
 )
+from .executor import (
+    EXECUTOR_ENV_VAR,
+    EngineState,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardResult,
+    SweepExecutor,
+    ThreadExecutor,
+    available_executors,
+    get_executor,
+    register_executor,
+    resolve_executor,
+)
 from .pipeline import (
     CompressionPipeline,
     CompressionReport,
@@ -57,6 +77,7 @@ from .registry import (
     get_method,
     method_entries,
     register_method,
+    unregister_method,
 )
 from .spec import (
     ALFSpec,
@@ -69,6 +90,7 @@ from .spec import (
 )
 from .sweep import (
     ALF_TABLE2_STAGE_REMAINING,
+    SweepFailure,
     SweepResult,
     run_sweep,
     table2_specs,
@@ -77,12 +99,17 @@ from .sweep import (
 __all__ = [
     # façade
     "compress", "run_sweep", "CompressionPipeline", "CompressionReport",
-    "SweepResult", "DenseBaseline", "table2_specs", "resolve_loaders",
+    "SweepResult", "SweepFailure", "DenseBaseline", "table2_specs",
+    "resolve_loaders",
+    # executors
+    "SweepExecutor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
+    "ShardResult", "EngineState", "register_executor", "get_executor",
+    "available_executors", "resolve_executor", "EXECUTOR_ENV_VAR",
     # protocol
     "CompressionMethod", "CompressedModel", "CompressionAdapter",
     # registry
-    "register_method", "get_method", "available_methods", "create_method",
-    "method_entries", "canonical_name", "MethodEntry",
+    "register_method", "unregister_method", "get_method", "available_methods",
+    "create_method", "method_entries", "canonical_name", "MethodEntry",
     # specs
     "CompressionSpec", "ALFSpec", "MagnitudeSpec", "FPGMSpec", "AMCSpec",
     "LCNNSpec", "LowRankSpec",

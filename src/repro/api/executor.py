@@ -1,0 +1,282 @@
+"""Sharded execution strategies for :func:`repro.api.run_sweep`.
+
+Every :class:`~repro.api.spec.CompressionSpec` in a sweep runs on an
+isolated deep copy of the model under its own backend / dtype / grad-mode
+context, which makes specs embarrassingly parallel.  This module owns *how*
+the shards run:
+
+* :class:`SerialExecutor` — in-process loop (the reference semantics);
+* :class:`ThreadExecutor` — a thread pool, overlapping shards whose time is
+  dominated by GIL-releasing numpy kernels or blocking I/O;
+* :class:`ProcessExecutor` — a process pool, sidestepping the GIL entirely
+  (shards and their results travel by pickle).
+
+Executors are registered by name exactly like ``repro.nn`` backends —
+:func:`register_executor` / :func:`get_executor` — and selected per sweep
+via ``run_sweep(..., executor="process")`` or process-wide via the
+``REPRO_SWEEP_EXECUTOR`` environment variable.  Whatever the strategy,
+shard results are collected **in task order**, so the merged sweep is
+bit-identical to a serial run.
+
+Engine-state hygiene is handled by :class:`EngineState`: the sweep parent
+captures the active backend / dtype / grad mode once, every shard
+re-applies it (worker threads and spawned processes do not inherit scoped
+state), and on shard exit the op-hook list is restored — no shard can leak
+execution state into its neighbours.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
+
+from ..nn.backend import ExecutionState, capture_execution_state
+from ..nn.tensor import (
+    grad_mode_override,
+    installed_op_hooks,
+    restore_op_hooks,
+    set_grad_mode,
+)
+
+#: Environment variable naming the default sweep executor.
+EXECUTOR_ENV_VAR = "REPRO_SWEEP_EXECUTOR"
+
+ExecutorLike = Union[str, "SweepExecutor"]
+
+
+# --------------------------------------------------------------------------- #
+# Engine-state capture / restore
+# --------------------------------------------------------------------------- #
+@contextmanager
+def op_hook_isolation():
+    """Restore the op-hook list on exit, even when the body raises.
+
+    A hook installed (or leaked through an exception) inside a sweep shard
+    must never observe — or slow down — the specs that follow it.
+    """
+    hooks = installed_op_hooks()
+    try:
+        yield
+    finally:
+        restore_op_hooks(hooks)
+
+
+@dataclass(frozen=True)
+class EngineState:
+    """Everything a shard must re-apply to match the parent's engine context.
+
+    Combines the backend / default-dtype snapshot
+    (:class:`repro.nn.ExecutionState`) with the grad-mode override.  The
+    whole snapshot is picklable, so it ships to process workers unchanged.
+    """
+
+    execution: ExecutionState
+    grad_override: Optional[bool] = None
+
+    @classmethod
+    def capture(cls) -> "EngineState":
+        return cls(execution=capture_execution_state(),
+                   grad_override=grad_mode_override())
+
+    @contextmanager
+    def scope(self):
+        """Run a shard under this state, guaranteeing restoration on exit.
+
+        Re-applies the captured backend / dtype / grad mode (thread-locally,
+        so concurrent shards cannot interfere) and isolates the op-hook
+        list so a hook installed — or leaked via an exception — inside the
+        shard is removed before the next shard runs.
+        """
+        with op_hook_isolation():
+            with self.execution.scope(), set_grad_mode(self.grad_override):
+                yield
+
+
+# --------------------------------------------------------------------------- #
+# Shard results
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardResult:
+    """Outcome of one shard: a value or the exception that killed it."""
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _call_shard(fn: Callable[[Any], Any], index: int, task: Any) -> ShardResult:
+    try:
+        return ShardResult(index=index, value=fn(task))
+    except Exception as exc:  # deliberate: shard failures are data, not control flow
+        return ShardResult(index=index, error=exc)
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+class SweepExecutor:
+    """Strategy interface: map ``fn`` over tasks, results in task order.
+
+    ``run`` never raises for a *shard* failure — each failure is returned
+    as a :class:`ShardResult` carrying the exception, so the caller decides
+    the policy (``run_sweep``'s ``on_error``).  ``fail_fast=True`` allows a
+    strategy to stop scheduling new shards after the first failure (the
+    serial executor honours it exactly; pools may run shards to completion).
+    """
+
+    name: str = "abstract"
+
+    #: True for strategies that run every shard in the caller's thread and
+    #: therefore inherit its ambient engine state; parallel strategies need
+    #: a shippable :class:`EngineState` snapshot instead.
+    inline: bool = False
+
+    def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any],
+            max_workers: Optional[int] = None,
+            fail_fast: bool = False) -> List[ShardResult]:
+        raise NotImplementedError
+
+    def resolved_workers(self, num_tasks: int,
+                         max_workers: Optional[int]) -> int:
+        if max_workers is not None:
+            if max_workers < 1:
+                raise ValueError("max_workers must be at least 1")
+            return min(max_workers, max(1, num_tasks))
+        return min(max(1, num_tasks), os.cpu_count() or 1)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialExecutor(SweepExecutor):
+    """The reference strategy: one shard after another, in-process."""
+
+    name = "serial"
+    inline = True
+
+    def run(self, fn, tasks, max_workers=None, fail_fast=False):
+        results: List[ShardResult] = []
+        for index, task in enumerate(tasks):
+            result = _call_shard(fn, index, task)
+            results.append(result)
+            if fail_fast and not result.ok:
+                break
+        return results
+
+
+class _PoolExecutor(SweepExecutor):
+    """Shared submit/collect logic for the thread and process pools."""
+
+    def _make_pool(self, workers: int) -> _FuturesExecutor:
+        raise NotImplementedError
+
+    def run(self, fn, tasks, max_workers=None, fail_fast=False):
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        # A single worker still runs through the pool: executor="process"
+        # must always mean real process isolation (pickled tasks, crash
+        # containment), even on one-CPU hosts where the default worker
+        # count resolves to 1.
+        workers = self.resolved_workers(len(tasks), max_workers)
+        results: List[ShardResult] = []
+        with self._make_pool(workers) as pool:
+            futures = [pool.submit(_call_shard, fn, index, task)
+                       for index, task in enumerate(tasks)]
+            # Collect in submission (= spec) order: the merge must not
+            # depend on completion order.
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    # The pool failed to round-trip the shard itself (e.g.
+                    # an unpicklable task); surface it as that shard's error.
+                    results.append(ShardResult(index=len(results), error=exc))
+        return results
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool shards: cheap fan-out, shared memory, GIL-bound compute."""
+
+    name = "thread"
+
+    def _make_pool(self, workers: int) -> _FuturesExecutor:
+        return ThreadPoolExecutor(max_workers=workers,
+                                  thread_name_prefix="repro-sweep")
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool shards: true parallelism; tasks/results travel by pickle.
+
+    Uses the ``fork`` start method where available (Linux): workers inherit
+    the parent's imported modules and registries (methods, backends,
+    executors) without re-importing, and custom registrations made before
+    the sweep are visible to every shard.
+    """
+
+    name = "process"
+
+    def _make_pool(self, workers: int) -> _FuturesExecutor:
+        import multiprocessing as mp
+
+        if "fork" in mp.get_all_start_methods():
+            return ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=mp.get_context("fork"))
+        return ProcessPoolExecutor(max_workers=workers)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_EXECUTORS: Dict[str, Type[SweepExecutor]] = {}
+
+
+def register_executor(name: str, executor_type: Type[SweepExecutor],
+                      overwrite: bool = False) -> None:
+    """Register an executor strategy under ``name`` (lower-cased)."""
+    key = name.lower()
+    if key in _EXECUTORS and not overwrite:
+        raise ValueError(f"executor '{name}' is already registered")
+    _EXECUTORS[key] = executor_type
+
+
+def available_executors() -> List[str]:
+    return sorted(_EXECUTORS)
+
+
+def get_executor(executor: ExecutorLike) -> SweepExecutor:
+    """Resolve an executor by name, or pass an instance through."""
+    if isinstance(executor, SweepExecutor):
+        return executor
+    key = str(executor).lower()
+    if key not in _EXECUTORS:
+        raise KeyError(
+            f"unknown executor '{executor}'; choose from {available_executors()}")
+    return _EXECUTORS[key]()
+
+
+def resolve_executor(executor: Optional[ExecutorLike] = None) -> SweepExecutor:
+    """The executor a sweep should use.
+
+    Priority: an explicit ``executor`` argument, then the
+    ``REPRO_SWEEP_EXECUTOR`` environment variable, then serial.
+    """
+    if executor is not None:
+        return get_executor(executor)
+    env = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
+    if env:
+        return get_executor(env)
+    return SerialExecutor()
+
+
+register_executor("serial", SerialExecutor)
+register_executor("thread", ThreadExecutor)
+register_executor("process", ProcessExecutor)

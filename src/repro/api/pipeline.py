@@ -35,6 +35,34 @@ DataArg = Union[None, SyntheticImageDataset, DataLoader, Tuple]
 
 
 @dataclass
+class HardwareTotals:
+    """Wire-format stand-in for a :class:`NetworkReport`: table-level totals.
+
+    Reconstructed reports only need the network-level energy / latency to
+    compute reductions and render tables; the per-layer breakdown does not
+    travel through the dict wire format.
+    """
+
+    total_energy: float
+    total_latency: float
+
+
+def _hardware_totals_to_dict(report) -> Optional[Dict[str, float]]:
+    if report is None:
+        return None
+    return {"total_energy": float(report.total_energy),
+            "total_latency": float(report.total_latency)}
+
+
+def _hardware_totals_from_dict(payload: Optional[Dict[str, float]]
+                               ) -> Optional[HardwareTotals]:
+    if payload is None:
+        return None
+    return HardwareTotals(total_energy=float(payload["total_energy"]),
+                          total_latency=float(payload["total_latency"]))
+
+
+@dataclass
 class DenseBaseline:
     """Profile + hardware evaluation of the uncompressed reference model.
 
@@ -47,6 +75,24 @@ class DenseBaseline:
     cost: Dict[str, float]
     hardware: Optional[NetworkReport] = None
     accuracy: Optional[float] = None
+
+    # -- wire format ---------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """Table-level JSON-safe form (the layer profile does not travel)."""
+        return {
+            "cost": {k: float(v) for k, v in self.cost.items()},
+            "accuracy": None if self.accuracy is None else float(self.accuracy),
+            "hardware": _hardware_totals_to_dict(self.hardware),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DenseBaseline":
+        return cls(
+            profile=None,  # type: ignore[arg-type]  # dropped by the wire format
+            cost=dict(payload["cost"]),
+            hardware=_hardware_totals_from_dict(payload.get("hardware")),
+            accuracy=payload.get("accuracy"),
+        )
 
 
 @dataclass
@@ -139,6 +185,71 @@ class CompressionReport:
                 "latency_reduction": self.latency_reduction,
             })
         return out
+
+    # -- wire format ---------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict carrying every *table-level* quantity.
+
+        This is the guaranteed wire format for process shards and future
+        distributed runners: spec, costs, accuracy, remaining-filter
+        fraction, per-layer hardware workloads and the network-level
+        energy / latency totals all round-trip through
+        :meth:`from_dict`.  The live model, the training history and the
+        per-layer hardware breakdown are intentionally dropped — ship the
+        pickle form when those must travel too.
+        """
+        from dataclasses import asdict
+
+        return {
+            "schema": "repro-report/1",
+            "method": self.method,
+            "policy": self.policy,
+            "spec": self.spec.to_dict(),
+            "dense": self.dense.to_dict(),
+            "cost": {k: float(v) for k, v in self.compressed.cost.items()},
+            "remaining_filter_fraction":
+                float(self.compressed.remaining_filter_fraction),
+            "layer_shapes": [
+                {**asdict(shape), "input_hw": list(shape.input_hw)}
+                for shape in self.compressed.layer_shapes
+            ],
+            "accuracy": None if self.accuracy is None else float(self.accuracy),
+            "dense_hardware": _hardware_totals_to_dict(self.dense_hardware),
+            "compressed_hardware":
+                _hardware_totals_to_dict(self.compressed_hardware),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CompressionReport":
+        """Rebuild a (model-free) report from :meth:`to_dict` output."""
+        from ..hardware.layer import ConvLayerShape
+
+        schema = payload.get("schema")
+        if schema != "repro-report/1":
+            raise ValueError(f"unsupported report schema: {schema!r}")
+        spec = CompressionSpec.from_dict(payload["spec"])
+        compressed = CompressedModel(
+            model=None,  # type: ignore[arg-type]  # dropped by the wire format
+            method=payload["method"],
+            cost=dict(payload["cost"]),
+            layer_shapes=[
+                ConvLayerShape(**{**shape, "input_hw": tuple(shape["input_hw"])})
+                for shape in payload.get("layer_shapes", [])
+            ],
+            remaining_filter_fraction=payload["remaining_filter_fraction"],
+        )
+        return cls(
+            method=payload["method"],
+            policy=payload["policy"],
+            spec=spec,
+            dense=DenseBaseline.from_dict(payload["dense"]),
+            compressed=compressed,
+            accuracy=payload.get("accuracy"),
+            dense_hardware=_hardware_totals_from_dict(
+                payload.get("dense_hardware")),
+            compressed_hardware=_hardware_totals_from_dict(
+                payload.get("compressed_hardware")),
+        )
 
     def render(self) -> str:
         rows = [

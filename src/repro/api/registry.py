@@ -58,6 +58,15 @@ def register_method(name: str, config_type: type, policy: str,
     return decorator
 
 
+def unregister_method(name: str) -> None:
+    """Remove a method registration (no-op when absent).
+
+    Exists for tests and short-lived plugin methods (e.g. benchmark-only
+    workloads) that must not leak into :func:`available_methods` after use.
+    """
+    _REGISTRY.pop(canonical_name(name), None)
+
+
 def get_method(name: str) -> MethodEntry:
     key = canonical_name(name)
     if key not in _REGISTRY:

@@ -10,8 +10,9 @@ conventions (``conv_only``, hardware batch) used throughout the paper.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.config import ALFConfig
 from ..nn.module import Module
@@ -149,6 +150,62 @@ class LowRankSpec:
 
 
 # --------------------------------------------------------------------------- #
+# Wire format for configs
+# --------------------------------------------------------------------------- #
+#: Config classes reconstructible from the wire format, by type name.
+_CONFIG_TYPES: Dict[str, type] = {}
+
+
+def _register_config_types() -> None:
+    for cls in (ALFSpec, MagnitudeSpec, FPGMSpec, AMCSpec, LCNNSpec,
+                LowRankSpec, ALFConfig):
+        _CONFIG_TYPES[cls.__name__] = cls
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively coerce a value into JSON-representable python types."""
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        # numpy scalars
+        return value.item()
+    return value
+
+
+def config_to_dict(config: Any) -> Optional[Dict[str, Any]]:
+    """Serialize a per-method config dataclass into the wire format."""
+    if config is None:
+        return None
+    name = type(config).__name__
+    if name not in _CONFIG_TYPES:
+        raise TypeError(
+            f"config type '{name}' has no wire format; known types: "
+            f"{sorted(_CONFIG_TYPES)}")
+    return {"type": name, "fields": _jsonify(dataclasses.asdict(config))}
+
+
+def config_from_dict(payload: Optional[Mapping[str, Any]]) -> Any:
+    """Rebuild a per-method config from :func:`config_to_dict` output."""
+    if payload is None:
+        return None
+    name = payload["type"]
+    if name not in _CONFIG_TYPES:
+        raise TypeError(f"unknown config type '{name}' in wire payload")
+    cls = _CONFIG_TYPES[name]
+    fields = dict(payload.get("fields") or {})
+    if cls is ALFSpec:
+        if fields.get("alf") is not None:
+            fields["alf"] = ALFConfig(**fields["alf"])
+        # JSON stringifies integer mapping keys; undo that on the way in.
+        if fields.get("stage_remaining") is not None:
+            fields["stage_remaining"] = {int(k): float(v)
+                                         for k, v in fields["stage_remaining"].items()}
+    return cls(**fields)
+
+
+# --------------------------------------------------------------------------- #
 # The unified spec
 # --------------------------------------------------------------------------- #
 @dataclass
@@ -250,3 +307,53 @@ class CompressionSpec:
     @property
     def display_label(self) -> str:
         return self.label or self.method
+
+    # -- wire format ---------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict describing this spec completely.
+
+        This is the guaranteed wire format process-based sweep shards and
+        distributed runners exchange (pickle also works, but the dict form
+        is stable across interpreter versions).  A built ``Module`` in the
+        ``model`` field has no wire representation — pass registry names
+        when a spec needs to travel.
+        """
+        if isinstance(self.model, Module):
+            raise TypeError(
+                "CompressionSpec.to_dict() cannot serialize a built Module; "
+                "use a model registry name (e.g. 'resnet20') for specs that "
+                "travel between processes")
+        return {
+            "method": self.method,
+            "config": config_to_dict(self.config),
+            "model": self.model,
+            "input_shape": list(self.input_shape) if self.input_shape else None,
+            "epochs": self.epochs,
+            "finetune_epochs": self.finetune_epochs,
+            "lr": float(self.lr),
+            "conv_only": self.conv_only,
+            "hardware_batch": self.hardware_batch,
+            "layer_names": list(self.layer_names) if self.layer_names else None,
+            "dtype": self.dtype,
+            "backend": self.backend,
+            "seed": self.seed,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CompressionSpec":
+        """Rebuild a spec from :meth:`to_dict` output (extra keys rejected)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown CompressionSpec fields: {sorted(unknown)}")
+        data = dict(payload)
+        data["config"] = config_from_dict(data.get("config"))
+        if data.get("input_shape") is not None:
+            data["input_shape"] = tuple(data["input_shape"])
+        if data.get("layer_names") is not None:
+            data["layer_names"] = tuple(data["layer_names"])
+        return cls(**data)
+
+
+_register_config_types()

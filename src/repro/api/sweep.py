@@ -6,13 +6,21 @@ geometry in one call.  The dense model is built once, the dataset loaders
 are built once, and the dense profile + Eyeriss evaluation are computed
 once and shared across every method — sweeps do not rebuild anything per
 method.
+
+Because every spec runs on an isolated deep copy of the model under its
+own execution context, specs are embarrassingly parallel: pass
+``executor="thread"`` / ``"process"`` (or set ``REPRO_SWEEP_EXECUTOR``) to
+shard them across workers.  The dense baseline is computed once in the
+parent and broadcast to every shard; shard reports are merged back **in
+spec order**, so the resulting :class:`SweepResult` is identical to a
+serial run whatever the strategy.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +31,12 @@ from ..metrics.tables import format_count, format_reduction, render_table
 from ..models import build_model, default_input_shape
 from ..nn.backend import get_default_dtype, use_backend
 from ..nn.module import Module
+from .executor import (
+    EngineState,
+    ExecutorLike,
+    op_hook_isolation,
+    resolve_executor,
+)
 from .pipeline import (
     CompressionPipeline,
     CompressionReport,
@@ -57,11 +71,33 @@ def table2_specs(seed: int = 0) -> List[CompressionSpec]:
 
 
 @dataclass
+class SweepFailure:
+    """One spec that died mid-sweep (recorded under ``on_error="skip"``)."""
+
+    index: int
+    spec: CompressionSpec
+    error_type: str
+    message: str
+    #: The original exception when it survived transport from the worker.
+    exception: Optional[BaseException] = None
+
+    def __str__(self) -> str:
+        return (f"spec[{self.index}] ({self.spec.display_label}): "
+                f"{self.error_type}: {self.message}")
+
+
+@dataclass
 class SweepResult:
-    """Reports of a sweep plus the shared dense baseline."""
+    """Reports of a sweep plus the shared dense baseline.
+
+    ``failures`` is non-empty only for ``run_sweep(..., on_error="skip")``
+    runs in which one or more specs raised: the poisoned specs are recorded
+    here while every healthy shard's report is kept in ``reports``.
+    """
 
     dense: DenseBaseline
     reports: List[CompressionReport] = field(default_factory=list)
+    failures: List[SweepFailure] = field(default_factory=list)
 
     def by_method(self, method: str) -> CompressionReport:
         key = get_method(method).name
@@ -106,13 +142,87 @@ class SweepResult:
         return render_table(headers, rows, title=title)
 
 
+@dataclass
+class _LoaderPlan:
+    """Deterministic, position-independent recipe for building shard loaders.
+
+    ``DataLoader`` shuffling advances a persistent RNG, so handing the same
+    loader object to several consumers would make each one's batch order —
+    and thus its result — depend on its position in the spec list.  Every
+    consumer (the dense probe and each shard, wherever it runs) therefore
+    builds its loaders from this plan: freshly-seeded loaders over the
+    one-time dataset split, or a deep copy of the pristine resolved pair.
+    The plan is picklable, so process shards rebuild identical loaders.
+    """
+
+    kind: str  # "none" | "synthetic" | "template"
+    train_split: Any = None
+    val_split: Any = None
+    seed: int = 0
+    template: Any = None
+
+    def make(self):
+        if self.kind == "none":
+            return None
+        if self.kind == "synthetic":
+            return (DataLoader(self.train_split, batch_size=32, shuffle=True,
+                               seed=self.seed),
+                    DataLoader(self.val_split, batch_size=64))
+        return copy.deepcopy(self.template)
+
+
+def _loader_plan(data: DataArg, seed: int) -> _LoaderPlan:
+    if data is None:
+        return _LoaderPlan(kind="none")
+    if isinstance(data, SyntheticImageDataset):
+        train_split, val_split = data.split(0.8)
+        return _LoaderPlan(kind="synthetic", train_split=train_split,
+                           val_split=val_split, seed=seed)
+    return _LoaderPlan(kind="template",
+                       template=resolve_loaders(data, seed=seed))
+
+
+@dataclass
+class _ShardTask:
+    """Everything one shard needs, shipped to the worker in one pickle.
+
+    The dense baseline is computed once in the sweep parent and broadcast
+    here so no shard re-profiles (or re-maps on the accelerator) the dense
+    network; ``state`` re-applies the parent's backend / dtype / grad mode
+    inside the worker.
+    """
+
+    spec: CompressionSpec
+    model: Module
+    loaders: _LoaderPlan
+    hardware: Optional[EyerissSpec]
+    dense: DenseBaseline
+    state: Optional[EngineState]
+
+
+def _execute_shard(task: _ShardTask) -> CompressionReport:
+    """Run one spec in an isolated execution context (any worker, any host)."""
+    # state=None means the parent's backend had no registry name to travel
+    # by; run under the ambient state (correct for the serial executor, the
+    # only strategy that can reach such a backend) with hook isolation only.
+    scope = task.state.scope() if task.state is not None else op_hook_isolation()
+    with scope:
+        pipeline = CompressionPipeline(task.spec, hardware=task.hardware)
+        return pipeline.run(model=copy.deepcopy(task.model),
+                            data=task.loaders.make(),
+                            dense=task.dense, inplace=True)
+
+
 def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
               model: Union[str, Module] = "resnet20",
               data: DataArg = None,
               hardware: Optional[EyerissSpec] = EYERISS_PAPER,
               input_shape: Optional[Tuple[int, int, int]] = None,
               dtype: Optional[str] = None, backend: Optional[str] = None,
-              seed: int = 0) -> SweepResult:
+              seed: int = 0,
+              executor: Optional[ExecutorLike] = None,
+              max_workers: Optional[int] = None,
+              on_error: str = "raise") -> SweepResult:
     """Run many compression specs against one shared model / dataset.
 
     With ``specs=None`` the Table II method set (all six registered
@@ -124,12 +234,27 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
     ``dtype`` / ``backend`` select the execution engine for the whole
     sweep (overriding every spec); because one dense baseline is shared,
     per-spec dtype/backend values must otherwise agree.
+
+    ``executor`` shards the specs: ``"serial"`` (default), ``"thread"`` or
+    ``"process"`` (or any name from
+    :func:`repro.api.available_executors`), with ``max_workers`` capping
+    the pool size.  When no executor is passed the ``REPRO_SWEEP_EXECUTOR``
+    environment variable is honoured.  Reports are merged in spec order
+    under the parent's dense baseline, so every strategy returns the same
+    :class:`SweepResult` as a serial run.
+
+    ``on_error`` decides what a raising spec does: ``"raise"`` (default)
+    re-raises the first failure in spec order; ``"skip"`` records it as a
+    :class:`SweepFailure` on ``SweepResult.failures`` and keeps every other
+    shard's report.
     """
     if specs is None:
         specs = table2_specs(seed=seed)
     specs = list(specs)
     if not specs:
         raise ValueError("specs must contain at least one CompressionSpec")
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")
     if dtype is not None or backend is not None:
         specs = [s.with_overrides(dtype=dtype or s.dtype,
                                   backend=backend or s.backend) for s in specs]
@@ -146,14 +271,27 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
             "must match on every "
             f"spec (got {len(conventions)} different combinations)")
 
+    sweep_executor = resolve_executor(executor)
     with use_backend(specs[0].backend, dtype=specs[0].dtype):
-        return _run_sweep(specs, model, data, hardware, input_shape, seed)
+        return _run_sweep(specs, model, data, hardware, input_shape, seed,
+                          sweep_executor, max_workers, on_error)
 
 
 def _run_sweep(specs: List[CompressionSpec], model: Union[str, Module],
                data: DataArg, hardware: Optional[EyerissSpec],
                input_shape: Optional[Tuple[int, int, int]],
-               seed: int) -> SweepResult:
+               seed: int, sweep_executor, max_workers: Optional[int],
+               on_error: str) -> SweepResult:
+    # Capture the engine state up front — it depends only on the ambient
+    # use_backend scope — so an unshippable backend fails before any
+    # expensive stage (model build, dense profiling, probe training) runs.
+    state = _capture_engine_state()
+    if state is None and not sweep_executor.inline:
+        raise RuntimeError(
+            "the active backend is not registered under its name, so its "
+            "state cannot be shipped to parallel sweep workers; register it "
+            "with repro.nn.register_backend() or use executor='serial'")
+
     if isinstance(model, str):
         base_model = build_model(model, rng=np.random.default_rng(seed))
         resolved_shape = input_shape or default_input_shape(model)
@@ -162,38 +300,73 @@ def _run_sweep(specs: List[CompressionSpec], model: Union[str, Module],
         if input_shape is None:
             raise ValueError("input_shape is required when passing a built model")
         resolved_shape = input_shape
+    resolved_shape = tuple(resolved_shape)
 
-    # Split the dataset once, but hand every method (and the dense probe)
-    # freshly-seeded loaders: DataLoader shuffling advances a persistent RNG,
-    # so sharing one loader would make each method's batch order — and thus
-    # its result — depend on its position in the spec list.
-    if isinstance(data, SyntheticImageDataset):
-        train_split, val_split = data.split(0.8)
+    plan = _loader_plan(data, seed)
 
-        def fresh_loaders():
-            return (DataLoader(train_split, batch_size=32, shuffle=True, seed=seed),
-                    DataLoader(val_split, batch_size=64))
-    else:
-        shared = resolve_loaders(data, seed=seed)
+    # Stage 1 (parent): the dense baseline — model profile, hardware
+    # evaluation and the trained dense accuracy probe — is computed once
+    # and broadcast to every shard.
+    specs = [spec.with_overrides(input_shape=resolved_shape) for spec in specs]
+    dense = CompressionPipeline(specs[0], hardware=hardware).dense_baseline(
+        base_model, resolved_shape)
+    loaders = plan.make()
+    if loaders is not None and loaders[1] is not None:
+        dense.accuracy = _dense_accuracy(base_model, loaders, specs)
+    result = SweepResult(dense=dense)
 
-        def fresh_loaders():
-            return shared
+    # Stage 2 (workers): one task per spec.  Shards only need the dense
+    # baseline as a "do not recompute" token plus its cost table — the
+    # parent rebinds the full object (layer profile, per-layer hardware
+    # report) in the merge — so a stripped copy travels, keeping the
+    # per-task pickle payload small for the process executor.
+    shard_dense = DenseBaseline(profile=None, cost=dense.cost,  # type: ignore[arg-type]
+                                hardware=None, accuracy=dense.accuracy)
+    tasks = [_ShardTask(spec=spec, model=base_model, loaders=plan,
+                        hardware=hardware, dense=shard_dense, state=state)
+             for spec in specs]
+    shard_results = sweep_executor.run(_execute_shard, tasks,
+                                       max_workers=max_workers,
+                                       fail_fast=(on_error == "raise"))
 
-    dense: Optional[DenseBaseline] = None
-    result: Optional[SweepResult] = None
-    for spec in specs:
-        spec = spec.with_overrides(input_shape=tuple(resolved_shape))
-        pipeline = CompressionPipeline(spec, hardware=hardware)
-        if dense is None:
-            dense = pipeline.dense_baseline(base_model, tuple(resolved_shape))
-            loaders = fresh_loaders()
-            if loaders is not None and loaders[1] is not None:
-                dense.accuracy = _dense_accuracy(base_model, loaders, specs)
-            result = SweepResult(dense=dense)
-        report = pipeline.run(model=copy.deepcopy(base_model), data=fresh_loaders(),
-                              dense=dense, inplace=True)
-        result.reports.append(report)
+    # Stage 3 (parent): deterministic merge, in spec order.  Reports are
+    # rebound onto the parent's dense baseline object (worker copies of it
+    # are dropped), preserving the shared-baseline identity invariant.
+    for shard in shard_results:
+        if shard.ok:
+            report: CompressionReport = shard.value
+            report.dense = dense
+            report.dense_hardware = dense.hardware
+            result.reports.append(report)
+            continue
+        if on_error == "raise":
+            raise shard.error
+        # Drop the traceback before recording: its frames pin the failed
+        # shard's deep-copied model and loaders for the lifetime of the
+        # SweepResult (error_type/message carry the report-facing data).
+        shard.error.__traceback__ = None
+        result.failures.append(SweepFailure(
+            index=shard.index,
+            spec=specs[shard.index],
+            error_type=type(shard.error).__name__,
+            message=str(shard.error),
+            exception=shard.error,
+        ))
     return result
+
+
+def _capture_engine_state() -> Optional[EngineState]:
+    """Capture the sweep's engine state, or ``None`` for unregistered backends.
+
+    ``None`` makes each shard run under the caller's ambient state — only
+    valid for inline (serial) executors, which run in the same thread;
+    ``run_sweep`` rejects parallel executors in that case rather than
+    silently running shards under the process-default backend.
+    """
+    try:
+        return EngineState.capture()
+    except KeyError:
+        return None
 
 
 def _dense_accuracy(base_model: Module, loaders, specs) -> float:

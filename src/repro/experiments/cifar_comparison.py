@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..api import ALFSpec, AMCSpec, FPGMSpec, compress
+from ..api import ALFSpec, AMCSpec, CompressionSpec, FPGMSpec, compress, run_sweep
 from ..api.sweep import ALF_TABLE2_STAGE_REMAINING
 from ..core import ALFConfig
 from ..metrics import MethodResult, pareto_front, profile_model
@@ -128,6 +128,44 @@ def fpgm_cost(prune_ratio: float = 0.3, seed: int = 0) -> Dict[str, float]:
     return {"params": report.cost["params"], "ops": report.cost["ops"]}
 
 
+def table2_cost_specs(seed: int = 0,
+                      alf_remaining_fraction: Optional[float] = None
+                      ) -> List[CompressionSpec]:
+    """The compressed Table II rows (AMC, FPGM, ALF) as sweep specs."""
+    alf_config = (ALFSpec(remaining_fraction=alf_remaining_fraction)
+                  if alf_remaining_fraction is not None
+                  else ALFSpec(stage_remaining=ALF_STAGE_REMAINING))
+    alf_config.deploy = False
+    return [
+        CompressionSpec(method="amc",
+                        config=AMCSpec(target_ops_fraction=0.49), seed=seed),
+        CompressionSpec(method="fpgm",
+                        config=FPGMSpec(prune_ratio=0.3), seed=seed),
+        CompressionSpec(method="alf", config=alf_config, seed=seed),
+    ]
+
+
+def table2_costs(seed: int = 0,
+                 alf_remaining_fraction: Optional[float] = None,
+                 workers: Optional[int] = None,
+                 executor: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+    """Cost columns of the compressed Table II rows, via one (sharded) sweep.
+
+    The three method evaluations share a single dense ResNet-20 and run in
+    parallel when ``workers`` / ``executor`` (or ``REPRO_SWEEP_EXECUTOR``)
+    select a parallel strategy; results are identical to the serial
+    per-method runs.
+    """
+    sweep = run_sweep(
+        table2_cost_specs(seed=seed,
+                          alf_remaining_fraction=alf_remaining_fraction),
+        model="resnet20", hardware=None, input_shape=CIFAR_INPUT, seed=seed,
+        executor=executor, max_workers=workers)
+    return {report.method: {"params": report.cost["params"],
+                            "ops": report.cost["ops"]}
+            for report in sweep.reports}
+
+
 # --------------------------------------------------------------------------- #
 # Accuracy side (proxy training)
 # --------------------------------------------------------------------------- #
@@ -204,13 +242,21 @@ def measure_accuracies(scale: str = "ci", seed: int = 0,
 # Full table
 # --------------------------------------------------------------------------- #
 def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
-        alf_remaining_fraction: Optional[float] = None) -> Table2Result:
-    """Regenerate Table II (cost columns exact, accuracy from proxy runs)."""
+        alf_remaining_fraction: Optional[float] = None,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None) -> Table2Result:
+    """Regenerate Table II (cost columns exact, accuracy from proxy runs).
+
+    ``workers`` / ``executor`` shard the per-method cost evaluations across
+    a sweep executor (see :func:`repro.api.run_sweep`); the produced table
+    is identical to the serial default.
+    """
     plain_profile = profile_model(plain20(rng=np.random.default_rng(seed)), CIFAR_INPUT)
     resnet_profile = profile_model(resnet20(rng=np.random.default_rng(seed)), CIFAR_INPUT)
-    amc = amc_cost(seed=seed)
-    fpgm = fpgm_cost(seed=seed)
-    alf = alf_compressed_cost(remaining_fraction=alf_remaining_fraction, seed=seed)
+    costs = table2_costs(seed=seed,
+                         alf_remaining_fraction=alf_remaining_fraction,
+                         workers=workers, executor=executor)
+    amc, fpgm, alf = costs["amc"], costs["fpgm"], costs["alf"]
 
     accuracies = measure_accuracies(scale=scale, seed=seed) if measure_accuracy else None
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..api import ALFSpec, compress
+from ..api import ALFSpec, CompressionSpec, run_sweep
 from ..hardware import EyerissSpec, EYERISS_PAPER, NetworkReport
 from ..metrics.tables import render_table
 from ..models.plain import plain_layer_names
@@ -85,14 +85,19 @@ class Fig3Result:
 def run(architecture: str = "plain20", batch: int = 16,
         remaining_fraction: float = 0.386,
         per_layer_fractions: Optional[Dict[str, float]] = None,
-        spec: Optional[EyerissSpec] = None, seed: int = 0) -> Fig3Result:
+        spec: Optional[EyerissSpec] = None, seed: int = 0,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None) -> Fig3Result:
     """Evaluate vanilla vs. ALF-compressed execution on the Eyeriss model.
 
-    One :func:`repro.api.compress` call supplies both sides: the pipeline's
-    dense stage evaluates the vanilla network and its hardware stage
-    evaluates the ALF-compressed execution.  Layer labels follow the
-    paper's CONV1..CONV432 naming; CONV1 (the stem) keeps a dense
-    convolution, so the forced per-layer fractions apply from CONV211 on.
+    One single-spec :func:`repro.api.run_sweep` call supplies both sides:
+    the sweep's dense stage evaluates the vanilla network and the shard's
+    hardware stage evaluates the ALF-compressed execution — so the
+    evaluation honours the sweep executor selection (``workers`` /
+    ``executor`` arguments or ``REPRO_SWEEP_EXECUTOR``).  Layer labels
+    follow the paper's CONV1..CONV432 naming; CONV1 (the stem) keeps a
+    dense convolution, so the forced per-layer fractions apply from
+    CONV211 on.
     """
     names = plain_layer_names()
     if architecture not in ("plain20", "resnet20"):
@@ -103,12 +108,15 @@ def run(architecture: str = "plain20", batch: int = 16,
         layer_labels=names[1:],  # skip CONV1 (the stem keeps a dense conv)
         deploy=False,
     )
-    report = compress(
-        architecture, method="alf", config=config,
-        hardware=spec or EYERISS_PAPER, hardware_batch=batch,
-        input_shape=CIFAR_INPUT, layer_names=names, seed=seed,
-        label=f"ALF-{architecture}",
+    sweep = run_sweep(
+        [CompressionSpec(method="alf", config=config, hardware_batch=batch,
+                         layer_names=names, seed=seed,
+                         label=f"ALF-{architecture}")],
+        model=architecture, hardware=spec or EYERISS_PAPER,
+        input_shape=CIFAR_INPUT, seed=seed,
+        executor=executor, max_workers=workers,
     )
+    report = sweep.reports[0]
     vanilla_report = report.dense_hardware
     alf_report = report.compressed_hardware
 

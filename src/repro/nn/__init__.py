@@ -26,8 +26,10 @@ from . import ste
 from . import utils
 from .backend import (
     Backend,
+    ExecutionState,
     NumpyBackend,
     available_backends,
+    capture_execution_state,
     current_backend,
     get_backend,
     get_default_dtype,
@@ -60,6 +62,8 @@ from .tensor import (
     apply_op,
     concatenate,
     enable_grad,
+    grad_mode_override,
+    installed_op_hooks,
     is_grad_enabled,
     no_grad,
     ones,
@@ -68,6 +72,8 @@ from .tensor import (
     register_op,
     registered_ops,
     remove_op_hook,
+    restore_op_hooks,
+    set_grad_mode,
     stack,
     tape_nodes_created,
     zeros,
@@ -82,11 +88,14 @@ __all__ = [
     "functional", "init", "loss", "optim", "ste", "utils", "backend",
     "concatenate", "stack", "zeros", "ones", "randn",
     # engine: grad modes, tape introspection, op registry
-    "no_grad", "enable_grad", "is_grad_enabled", "tape_nodes_created",
+    "no_grad", "enable_grad", "is_grad_enabled", "grad_mode_override",
+    "set_grad_mode", "tape_nodes_created",
     "register_op", "registered_ops", "apply_op",
-    "add_op_hook", "remove_op_hook", "profile_ops",
+    "add_op_hook", "remove_op_hook", "installed_op_hooks", "restore_op_hooks",
+    "profile_ops",
     # engine: backends
     "Backend", "NumpyBackend", "available_backends", "current_backend",
     "get_backend", "register_backend", "set_backend", "use_backend",
     "get_default_dtype", "set_default_dtype",
+    "ExecutionState", "capture_execution_state",
 ]

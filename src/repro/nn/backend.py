@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import copy
 import os
+import threading
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -249,16 +251,37 @@ def _initial_backend() -> Backend:
     return NumpyBackend(np.dtype(env) if env else np.float64)
 
 
+#: Process-wide default backend, targeted by :func:`set_backend`.
 _CURRENT: Backend = _initial_backend()
+
+#: Per-thread stack of scoped overrides pushed by :func:`use_backend`.  Keeping
+#: the scoped state thread-local is what lets parallel sweep shards each run
+#: under their own backend / dtype without leaking into one another (the
+#: process-wide default above stays shared, as a default should).
+_SCOPED = threading.local()
+
+
+def _scoped_stack() -> List[Backend]:
+    stack = getattr(_SCOPED, "stack", None)
+    if stack is None:
+        stack = _SCOPED.stack = []
+    return stack
 
 
 def current_backend() -> Backend:
-    """The backend all tensor operations currently route through."""
+    """The backend all tensor operations currently route through.
+
+    The innermost :func:`use_backend` scope of the *calling thread* wins;
+    without one, the process-wide default applies.
+    """
+    stack = getattr(_SCOPED, "stack", None)
+    if stack:
+        return stack[-1]
     return _CURRENT
 
 
 def set_backend(backend: BackendLike, dtype=None) -> Backend:
-    """Permanently switch the active backend (optionally overriding dtype)."""
+    """Permanently switch the process-wide default backend."""
     global _CURRENT
     resolved = get_backend(backend)
     if dtype is not None and np.dtype(dtype) != resolved.default_dtype:
@@ -269,26 +292,25 @@ def set_backend(backend: BackendLike, dtype=None) -> Backend:
 
 @contextmanager
 def use_backend(backend: Optional[BackendLike] = None, dtype=None):
-    """Scoped backend / default-dtype switch.
+    """Scoped backend / default-dtype switch, local to the calling thread.
 
     ``backend=None`` keeps the active backend (useful for a dtype-only
     override); ``dtype=None`` keeps the backend's own default.
     """
-    global _CURRENT
-    previous = _CURRENT
-    target = get_backend(backend) if backend is not None else previous
+    target = get_backend(backend) if backend is not None else current_backend()
     if dtype is not None and np.dtype(dtype) != target.default_dtype:
         target = target.with_dtype(dtype)
-    _CURRENT = target
+    stack = _scoped_stack()
+    stack.append(target)
     try:
         yield target
     finally:
-        _CURRENT = previous
+        stack.pop()
 
 
 def get_default_dtype() -> np.dtype:
     """Default floating dtype of the active backend."""
-    return _CURRENT.default_dtype
+    return current_backend().default_dtype
 
 
 def set_default_dtype(dtype) -> None:
@@ -296,8 +318,70 @@ def set_default_dtype(dtype) -> None:
 
     Replaces the active backend with a dtype-adjusted copy rather than
     mutating it, so registry-cached instances (``get_backend("numpy32")``
-    etc.) are never corrupted by a process-wide dtype change.
+    etc.) are never corrupted by a process-wide dtype change.  Inside a
+    :func:`use_backend` scope the change applies to that scope (and is
+    undone when it exits); otherwise the process-wide default is replaced.
     """
     global _CURRENT
-    if np.dtype(dtype) != _CURRENT.default_dtype:
+    stack = getattr(_SCOPED, "stack", None)
+    if stack:
+        if np.dtype(dtype) != stack[-1].default_dtype:
+            stack[-1] = stack[-1].with_dtype(dtype)
+    elif np.dtype(dtype) != _CURRENT.default_dtype:
         _CURRENT = _CURRENT.with_dtype(dtype)
+
+
+# --------------------------------------------------------------------------- #
+# Execution-context capture / restore (for sweep workers)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExecutionState:
+    """A serializable snapshot of the active backend + default dtype.
+
+    Worker threads and processes do not inherit the parent's scoped
+    :func:`use_backend` state (scopes are thread-local, and a spawned
+    process starts from module defaults), so a sweep parent captures this
+    snapshot once and every shard re-applies it via :meth:`scope`.  Only
+    the registry *name* travels, which keeps the snapshot picklable; the
+    backend must therefore be registered under the same name in the worker
+    (true for the built-ins and for any :func:`register_backend` call made
+    before the pool forks).
+    """
+
+    backend: str
+    dtype: str
+
+    def resolve(self) -> Backend:
+        resolved = get_backend(self.backend)
+        if np.dtype(self.dtype) != resolved.default_dtype:
+            resolved = resolved.with_dtype(self.dtype)
+        return resolved
+
+    def scope(self):
+        """A context manager applying this snapshot (thread-locally)."""
+        return use_backend(self.resolve())
+
+
+def capture_execution_state() -> ExecutionState:
+    """Snapshot the calling thread's active backend + dtype by name.
+
+    Raises ``KeyError`` when the active backend cannot be faithfully
+    restored from the registry — either its name is unregistered, or the
+    instance is not of the registered type (e.g. an unregistered subclass
+    inheriting a built-in's ``name``); restoring by name would silently
+    swap in the wrong implementation.
+    """
+    active = current_backend()
+    key = active.name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"active backend '{active.name}' is not registered; register it "
+            "with register_backend() so sweep workers can restore it by name")
+    if type(active) is not type(get_backend(key)):
+        raise KeyError(
+            f"active backend instance ({type(active).__name__}) is not the "
+            f"type registered under '{active.name}' "
+            f"({type(get_backend(key)).__name__}); register it under its own "
+            "name so sweep workers restore the right implementation")
+    return ExecutionState(backend=active.name,
+                          dtype=np.dtype(active.default_dtype).name)

@@ -30,6 +30,7 @@ so the rest of the library can be written naturally.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -77,24 +78,45 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 # --------------------------------------------------------------------------- #
 # Grad modes
 # --------------------------------------------------------------------------- #
-#: ``None`` — default (tape recorded for tensors requiring grad);
-#: ``False`` — disabled (:class:`no_grad`); ``True`` — forced on
-#: (:class:`enable_grad`, overriding eval-mode inference).
-_GRAD_MODE: Optional[bool] = None
+#: Per-thread grad mode: ``None`` — default (tape recorded for tensors
+#: requiring grad); ``False`` — disabled (:class:`no_grad`); ``True`` —
+#: forced on (:class:`enable_grad`, overriding eval-mode inference).
+#: Thread-locality means a ``no_grad`` scope in one sweep shard can never
+#: turn off recording in a concurrently-training shard.
+_GRAD_MODE_TLS = threading.local()
+
+
+def _grad_mode() -> Optional[bool]:
+    return getattr(_GRAD_MODE_TLS, "value", None)
 
 
 def is_grad_enabled() -> bool:
-    """Whether operations currently record tape nodes."""
-    return _GRAD_MODE is not False
+    """Whether operations currently record tape nodes (in this thread)."""
+    return _grad_mode() is not False
 
 
 def grad_mode_override() -> Optional[bool]:
     """The explicit grad-mode override, or ``None`` when in the default mode."""
-    return _GRAD_MODE
+    return _grad_mode()
+
+
+@contextmanager
+def set_grad_mode(mode: Optional[bool]):
+    """Scoped reinstatement of a captured grad-mode override.
+
+    ``mode`` is a value previously read from :func:`grad_mode_override`;
+    sweep workers use this to run each shard under the parent's grad mode.
+    """
+    previous = _grad_mode()
+    _GRAD_MODE_TLS.value = mode
+    try:
+        yield
+    finally:
+        _GRAD_MODE_TLS.value = previous
 
 
 class _GradSwitch:
-    """Context manager / decorator flipping the global grad mode."""
+    """Context manager / decorator flipping the thread's grad mode."""
 
     _state: Optional[bool] = None
 
@@ -102,14 +124,12 @@ class _GradSwitch:
         self._previous: List[Optional[bool]] = []
 
     def __enter__(self):
-        global _GRAD_MODE
-        self._previous.append(_GRAD_MODE)
-        _GRAD_MODE = self._state
+        self._previous.append(_grad_mode())
+        _GRAD_MODE_TLS.value = self._state
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        global _GRAD_MODE
-        _GRAD_MODE = self._previous.pop()
+        _GRAD_MODE_TLS.value = self._previous.pop()
         return False
 
     def __call__(self, fn: Callable) -> Callable:
@@ -191,8 +211,17 @@ class TapeNode:
 
 
 #: Monotonic counter of tape nodes allocated since import; lets tests assert
-#: that inference paths are graph-free (snapshot before / after).
+#: that inference paths are graph-free (snapshot before / after).  Guarded
+#: by a lock: concurrent training shards (thread-executor sweeps) must not
+#: lose increments to interleaved read-modify-write.
 _TAPE_NODES_CREATED = 0
+_TAPE_COUNTER_LOCK = threading.Lock()
+
+
+def _bump_tape_counter() -> None:
+    global _TAPE_NODES_CREATED
+    with _TAPE_COUNTER_LOCK:
+        _TAPE_NODES_CREATED += 1
 
 
 def tape_nodes_created() -> int:
@@ -201,17 +230,43 @@ def tape_nodes_created() -> int:
 
 
 # -- profiling hooks -------------------------------------------------------- #
-_OP_HOOKS: List[Callable[[str, float], None]] = []
+#: Per-thread hook lists: like the grad mode and scoped backends, hooks are
+#: thread-local so a ``profile_ops`` context in one sweep shard observes
+#: exactly its own ops — and a shard restoring its snapshot on exit cannot
+#: clobber a hook a concurrently-running shard installed.
+_OP_HOOKS_TLS = threading.local()
+
+
+def _op_hooks() -> List[Callable[[str, float], None]]:
+    hooks = getattr(_OP_HOOKS_TLS, "hooks", None)
+    if hooks is None:
+        hooks = _OP_HOOKS_TLS.hooks = []
+    return hooks
 
 
 def add_op_hook(hook: Callable[[str, float], None]) -> Callable[[str, float], None]:
-    """Install ``hook(op_name, seconds)`` called on every op execution."""
-    _OP_HOOKS.append(hook)
+    """Install ``hook(op_name, seconds)`` on every op run by this thread."""
+    _op_hooks().append(hook)
     return hook
 
 
 def remove_op_hook(hook: Callable[[str, float], None]) -> None:
-    _OP_HOOKS.remove(hook)
+    _op_hooks().remove(hook)
+
+
+def installed_op_hooks() -> List[Callable[[str, float], None]]:
+    """A snapshot of the calling thread's installed op hooks."""
+    return list(_op_hooks())
+
+
+def restore_op_hooks(hooks: Iterable[Callable[[str, float], None]]) -> None:
+    """Reset this thread's op hooks to an :func:`installed_op_hooks` snapshot.
+
+    Sweep shards restore the snapshot after running a spec so a hook
+    installed (or leaked through an exception) inside one shard can never
+    observe — or slow down — the specs that follow it.
+    """
+    _op_hooks()[:] = list(hooks)
 
 
 @contextmanager
@@ -219,6 +274,8 @@ def profile_ops():
     """Collect per-op call counts and wall-clock while the context is active.
 
     Yields a dict ``{op_name: [calls, total_seconds]}`` filled in place.
+    Hooks are thread-local: ops executed by other threads (e.g. parallel
+    sweep shards) are not observed — profile inside the shard instead.
     """
     stats: Dict[str, List[float]] = {}
 
@@ -237,21 +294,21 @@ def profile_ops():
 def apply_op(op: Op, *inputs: "Tensor", **kwargs) -> "Tensor":
     """Execute a registered op on tensors, recording a tape node if needed."""
     arrays = tuple(t.data for t in inputs)
-    if _OP_HOOKS:
+    hooks = getattr(_OP_HOOKS_TLS, "hooks", None)
+    if hooks:
         start = time.perf_counter()
         data, ctx = op.forward(*arrays, **kwargs)
         elapsed = time.perf_counter() - start
-        for hook in tuple(_OP_HOOKS):
+        for hook in tuple(hooks):
             hook(op.name, elapsed)
     else:
         data, ctx = op.forward(*arrays, **kwargs)
-    if _GRAD_MODE is False:
+    if _grad_mode() is False:
         return Tensor(data)
     needs = tuple(t.requires_grad for t in inputs)
     if not any(needs):
         return Tensor(data)
-    global _TAPE_NODES_CREATED
-    _TAPE_NODES_CREATED += 1
+    _bump_tape_counter()
     out = Tensor(data, requires_grad=True)
     out._node = TapeNode(op, inputs, ctx, needs)
     return out
@@ -673,13 +730,12 @@ class Tensor:
         Prefer :func:`register_op` + :func:`apply_op` for new code; this
         exists so external closure-style ops keep working on the tape.
         """
-        if _GRAD_MODE is False:
+        if _grad_mode() is False:
             return Tensor(data)
         needs = tuple(p.requires_grad for p in parents)
         if not any(needs):
             return Tensor(data)
-        global _TAPE_NODES_CREATED
-        _TAPE_NODES_CREATED += 1
+        _bump_tape_counter()
         out = Tensor(data, requires_grad=True)
         out._node = TapeNode(_CLOSURE_OP, tuple(parents), backward, needs)
         return out
