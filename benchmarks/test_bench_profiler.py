@@ -1,0 +1,92 @@
+"""Microbenchmark: layer-scoped op profiling of a ResNet-20 inference.
+
+Records the per-op wall-clock split of one no-grad CIFAR-batch forward into
+``BENCH_engine.json`` — ``op_<name>_seconds`` / ``op_<name>_calls`` for the
+top ops plus the hottest layer — so the trend tracker sees *op-level*
+regressions, not just the end-to-end wall-clock the other benchmarks
+report.  Also measures the hook-machinery overhead itself: the same
+forward with profiling off must stay within noise of an unprofiled run
+(the no-hook fast path is a single truthiness check).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn.profiler import collect_profile
+from repro.nn.tensor import Tensor, installed_op_hooks, no_grad
+
+BATCH = 16
+INPUT_SHAPE = (3, 32, 32)
+ROUNDS = 3
+TOP_K = 5
+
+
+def _median_seconds(fn, rounds: int = ROUNDS) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return sorted(times)[len(times) // 2]
+
+
+def _profiler_benchmark():
+    rng = np.random.default_rng(0)
+    model = build_model("resnet20", rng=rng)
+    model.eval()
+    x = Tensor(rng.standard_normal((BATCH,) + INPUT_SHAPE))
+
+    # Reference: the unprofiled forward (hook fast path).
+    with no_grad():
+        plain_seconds = _median_seconds(lambda: model(x))
+    assert not installed_op_hooks()
+
+    # Profiled forward: same execution, observed per op and per layer.
+    def profiled_forward():
+        with collect_profile() as profile, no_grad():
+            model(x)
+        return profile
+
+    profiled_seconds = _median_seconds(profiled_forward)
+    profile = profiled_forward()
+
+    return {
+        "plain_forward_seconds": plain_seconds,
+        "profiled_forward_seconds": profiled_seconds,
+        "hook_overhead_ratio": profiled_seconds / plain_seconds,
+        "profile": profile,
+    }
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_profiler(benchmark, once, metric):
+    result = once(benchmark, _profiler_benchmark)
+    profile = result["profile"]
+
+    print("\nResNet-20 profiled forward, batch %d %s" % (BATCH, (INPUT_SHAPE,)))
+    print(f"  plain forward     : {result['plain_forward_seconds'] * 1e3:9.1f} ms")
+    print(f"  profiled forward  : {result['profiled_forward_seconds'] * 1e3:9.1f} ms "
+          f"({result['hook_overhead_ratio']:.2f}x)")
+    print(profile.render_top(TOP_K, title="  top ops / layers"))
+
+    for key in ("plain_forward_seconds", "profiled_forward_seconds",
+                "hook_overhead_ratio"):
+        metric(key, result[key])
+    for op, stat in profile.top_ops(TOP_K):
+        metric(f"op_{op}_seconds", stat.seconds)
+        metric(f"op_{op}_calls", stat.calls)
+    top_layer, top_layer_seconds = profile.top_layers(1)[0]
+    metric("top_layer", top_layer)
+    metric("top_layer_seconds", top_layer_seconds)
+
+    # The profiled execution observed real work in named layers…
+    assert profile.total_calls > 0
+    assert top_layer.startswith("ResNetCIFAR.")
+    assert profile.ops["conv2d"].calls == 21  # 19 paper convs + 2 shortcuts
+    # …and the hook machinery leaves nothing installed behind it.
+    assert not installed_op_hooks()

@@ -28,6 +28,9 @@ def main():
                         help="sweep executor (serial/thread/process)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker cap for the sweep executor")
+    parser.add_argument("--profile", action="store_true",
+                        help="measure per-layer wall-clock with the op "
+                             "profiler next to the modeled numbers")
     args = parser.parse_args()
 
     spec = EYERISS_PAPER
@@ -38,14 +41,23 @@ def main():
 
     result = hardware_breakdown.run(architecture=args.arch, batch=args.batch,
                                     remaining_fraction=args.remaining,
-                                    workers=args.workers, executor=args.executor)
+                                    workers=args.workers, executor=args.executor,
+                                    profile=args.profile)
     print()
-    print(f"{'Layer':>9} | {'vanilla energy':>16} | {'ALF energy':>12} | "
-          f"{'vanilla latency':>15} | {'ALF latency':>12}")
+    header = (f"{'Layer':>9} | {'vanilla energy':>16} | {'ALF energy':>12} | "
+              f"{'vanilla latency':>15} | {'ALF latency':>12}")
+    if args.profile:
+        header += f" | {'t vanilla':>10} | {'t ALF':>10}"
+    print(header)
     for row in result.rows:
-        print(f"{row.name:>9} | {row.vanilla_total_energy:16.3e} | "
-              f"{row.alf_total_energy:12.3e} | {row.vanilla_latency:15.3e} | "
-              f"{row.alf_latency:12.3e}")
+        line = (f"{row.name:>9} | {row.vanilla_total_energy:16.3e} | "
+                f"{row.alf_total_energy:12.3e} | {row.vanilla_latency:15.3e} | "
+                f"{row.alf_latency:12.3e}")
+        if args.profile:
+            van_t = f"{row.vanilla_seconds:.3e}" if row.vanilla_seconds is not None else "-"
+            alf_t = f"{row.alf_seconds:.3e}" if row.alf_seconds is not None else "-"
+            line += f" | {van_t:>10} | {alf_t:>10}"
+        print(line)
 
     summary = hardware_breakdown.summary_vs_paper(result)
     print(f"\nTotal energy reduction : {summary['measured_energy_reduction'] * 100:5.1f}% "

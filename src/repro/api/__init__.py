@@ -33,9 +33,17 @@ Public surface
 :func:`available_methods` / :func:`get_method` / :func:`register_method`
     The string-keyed method registry (``"alf"``, ``"magnitude"``,
     ``"fpgm"``, ``"amc"``, ``"lcnn"``, ``"lowrank"``).
+:class:`RunProfile` / :class:`OpProfile`
+    Layer-scoped op profiling: ``compress(..., profile=True)`` (or
+    ``CompressionSpec(profile=True)`` in a sweep) attaches per-op /
+    per-layer call counts and wall-clock — split into dense / train /
+    eval phases — to ``report.profile``;
+    ``SweepResult.combined_profile()`` folds a profiled sweep into one
+    profile.
 """
 
 from ..hardware import EYERISS_PAPER, EyerissSpec
+from ..nn.profiler import OpProfile, OpStat, RunProfile
 from . import adapters as _adapters  # noqa: F401  (populates the registry)
 from .adapters import (
     ALFMethod,
@@ -116,6 +124,8 @@ __all__ = [
     # adapters
     "ALFMethod", "MagnitudeMethod", "FPGMMethod", "AMCMethod", "LCNNMethod",
     "LowRankMethod", "evaluate_accuracy", "pruned_conv_shapes",
+    # profiling passthrough (reports carry these on .profile)
+    "OpProfile", "OpStat", "RunProfile",
     # hardware passthrough
     "EYERISS_PAPER", "EyerissSpec",
     # constants

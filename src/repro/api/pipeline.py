@@ -11,6 +11,7 @@ as a single report.
 from __future__ import annotations
 
 import copy
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
@@ -25,6 +26,7 @@ from ..metrics.tables import format_count, format_reduction, render_table
 from ..models import build_model, default_input_shape
 from ..nn.backend import get_default_dtype, use_backend
 from ..nn.module import Module
+from ..nn.profiler import RunProfile, collect_profile, profile_inference
 from .adapters import evaluate_accuracy
 from .protocol import CompressedModel, CompressionMethod
 from .registry import create_method, get_method
@@ -113,6 +115,10 @@ class CompressionReport:
     history: Any = None
     dense_hardware: Optional[NetworkReport] = None
     compressed_hardware: Optional[NetworkReport] = None
+    #: Layer-scoped op profile of the run (``spec.profile=True``):
+    #: dense / train / eval phases, each with per-op and per-layer
+    #: call counts and wall-clock.
+    profile: Optional[RunProfile] = None
 
     # -- cost ----------------------------------------------------------- #
     @property
@@ -192,8 +198,9 @@ class CompressionReport:
 
         This is the guaranteed wire format for process shards and future
         distributed runners: spec, costs, accuracy, remaining-filter
-        fraction, per-layer hardware workloads and the network-level
-        energy / latency totals all round-trip through
+        fraction, per-layer hardware workloads, the network-level
+        energy / latency totals and the layer-scoped op profile (when
+        ``spec.profile`` was set) all round-trip through
         :meth:`from_dict`.  The live model, the training history and the
         per-layer hardware breakdown are intentionally dropped — ship the
         pickle form when those must travel too.
@@ -217,6 +224,7 @@ class CompressionReport:
             "dense_hardware": _hardware_totals_to_dict(self.dense_hardware),
             "compressed_hardware":
                 _hardware_totals_to_dict(self.compressed_hardware),
+            "profile": None if self.profile is None else self.profile.to_dict(),
         }
 
     @classmethod
@@ -249,6 +257,8 @@ class CompressionReport:
                 payload.get("dense_hardware")),
             compressed_hardware=_hardware_totals_from_dict(
                 payload.get("compressed_hardware")),
+            profile=(None if payload.get("profile") is None
+                     else RunProfile.from_dict(payload["profile"])),
         )
 
     def render(self) -> str:
@@ -294,6 +304,17 @@ def resolve_loaders(data: DataArg, seed: int = 0,
     raise TypeError(
         "data must be None, a SyntheticImageDataset, a DataLoader, or a "
         "(train_loader, val_loader) tuple")
+
+
+@contextmanager
+def _profiled_phase(run_profile: Optional[RunProfile], phase: str):
+    """Collect the body's ops into ``run_profile.<phase>`` (no-op when off)."""
+    if run_profile is None:
+        yield
+        return
+    with collect_profile() as profile:
+        yield
+    setattr(run_profile, phase, profile)
 
 
 class CompressionPipeline:
@@ -371,9 +392,13 @@ class CompressionPipeline:
              inplace: bool = False) -> CompressionReport:
         resolved, input_shape = self.resolve_model(model)
         spec = self.spec.with_overrides(input_shape=input_shape)
+        run_profile = RunProfile() if spec.profile else None
 
         if dense is None:
-            dense = self._dense_baseline(resolved, input_shape)
+            # The dense phase is profiled only when this pipeline computes
+            # the baseline itself; sweep shards receive a precomputed one.
+            with _profiled_phase(run_profile, "dense"):
+                dense = self._dense_baseline(resolved, input_shape)
 
         source = model if model is not None else spec.model
         # A model resolved from a registry name is freshly built and private
@@ -389,10 +414,11 @@ class CompressionPipeline:
 
         loaders = resolve_loaders(data, seed=spec.seed)
         history = None
-        if loaders is not None and spec.epochs > 0:
-            history = method.fit(loaders[0], loaders[1], epochs=spec.epochs)
-        else:
-            method.fit(None, None, epochs=0)
+        with _profiled_phase(run_profile, "train"):
+            if loaders is not None and spec.epochs > 0:
+                history = method.fit(loaders[0], loaders[1], epochs=spec.epochs)
+            else:
+                method.fit(None, None, epochs=0)
 
         compressed = method.finalize()
 
@@ -400,7 +426,14 @@ class CompressionPipeline:
         if loaders is not None and loaders[1] is not None:
             # evaluate_accuracy runs under no_grad: the probe is tape-free
             # (asserted by the regression tests in tests/test_engine.py).
-            accuracy = evaluate_accuracy(compressed.model, loaders[1])
+            with _profiled_phase(run_profile, "eval"):
+                accuracy = evaluate_accuracy(compressed.model, loaders[1])
+        elif run_profile is not None:
+            # Cost-only runs have no probe to observe; profile one synthetic
+            # inference batch instead so the report still carries measured
+            # per-layer wall-clock at the hardware batch size.
+            run_profile.eval = profile_inference(
+                compressed.model, input_shape, batch=spec.hardware_batch)
 
         compressed_hardware = None
         if self.hardware is not None and compressed.layer_shapes:
@@ -419,6 +452,7 @@ class CompressionPipeline:
             history=history,
             dense_hardware=dense.hardware,
             compressed_hardware=compressed_hardware,
+            profile=run_profile,
         )
 
 
@@ -430,6 +464,7 @@ def compress(model: Union[str, Module], method: str = "alf", *,
              lr: float = 0.05, conv_only: bool = True, hardware_batch: int = 16,
              layer_names: Optional[Sequence[str]] = None,
              dtype: Optional[str] = None, backend: Optional[str] = None,
+             profile: bool = False,
              seed: int = 0, label: Optional[str] = None,
              inplace: bool = False) -> CompressionReport:
     """Compress ``model`` with a registered method and report everything.
@@ -444,13 +479,14 @@ def compress(model: Union[str, Module], method: str = "alf", *,
     ``input_shape`` is required).  ``hardware=None`` skips the Eyeriss
     stage; ``epochs=0`` skips training (cost-only evaluation).
     ``dtype="float32"`` (or ``backend="numpy32"``) runs the whole pipeline
-    on the float32 fast path.
+    on the float32 fast path.  ``profile=True`` collects a layer-scoped op
+    profile (dense / train / eval phases) on ``report.profile``.
     """
     spec = CompressionSpec(
         method=method, config=config, input_shape=input_shape, epochs=epochs,
         finetune_epochs=finetune_epochs, lr=lr, conv_only=conv_only,
         hardware_batch=hardware_batch, layer_names=layer_names,
-        dtype=dtype, backend=backend, seed=seed, label=label,
+        dtype=dtype, backend=backend, profile=profile, seed=seed, label=label,
     )
     return CompressionPipeline(spec, hardware=hardware).run(
         model=model, data=data, inplace=inplace)

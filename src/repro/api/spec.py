@@ -250,6 +250,13 @@ class CompressionSpec:
     backend:
         Execution backend name from :func:`repro.nn.available_backends`
         (e.g. ``"numpy"``, ``"numpy32"``); ``None`` keeps the active one.
+    profile:
+        Collect a layer-scoped op profile of the run
+        (:class:`repro.nn.RunProfile` on
+        :attr:`CompressionReport.profile <repro.api.CompressionReport>`):
+        per-op / per-layer call counts and wall-clock, split into dense /
+        train / eval phases.  ``False`` (the default) keeps the zero-cost
+        no-hook fast path.
     """
 
     method: str
@@ -264,6 +271,7 @@ class CompressionSpec:
     layer_names: Optional[Sequence[str]] = None
     dtype: Optional[str] = None
     backend: Optional[str] = None
+    profile: bool = False
     seed: int = 0
     label: Optional[str] = None
 
@@ -336,6 +344,7 @@ class CompressionSpec:
             "layer_names": list(self.layer_names) if self.layer_names else None,
             "dtype": self.dtype,
             "backend": self.backend,
+            "profile": self.profile,
             "seed": self.seed,
             "label": self.label,
         }

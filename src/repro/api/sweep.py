@@ -31,6 +31,7 @@ from ..metrics.tables import format_count, format_reduction, render_table
 from ..models import build_model, default_input_shape
 from ..nn.backend import get_default_dtype, use_backend
 from ..nn.module import Module
+from ..nn.profiler import OpProfile
 from .executor import (
     EngineState,
     ExecutorLike,
@@ -123,12 +124,33 @@ class SweepResult:
     def pareto(self) -> List[MethodResult]:
         return pareto_front([r.as_method_result() for r in self.reports])
 
+    def combined_profile(self) -> Optional[OpProfile]:
+        """Every profiled report's phases folded into one :class:`OpProfile`.
+
+        Profiles are collected *inside* each shard (op hooks are
+        thread-local) and merged here in spec order, so call counts are
+        identical whatever executor ran the sweep.  ``None`` when no spec
+        asked for profiling.
+        """
+        merged = OpProfile()
+        found = False
+        for report in self.reports:
+            if report.profile is not None:
+                merged.merge(report.profile.combined())
+                found = True
+        return merged if found else None
+
     def render(self, title: str = "Compression sweep") -> str:
         headers = ["Method", "Policy", "Params", "OPs", "ΔParams", "ΔOPs",
                    "ΔEnergy", "ΔLatency", "Acc[%]"]
+        # The dense row's non-applicable reduction cells and every missing
+        # accuracy share the formatters' one fallback string, so all
+        # columns type-check the same way against the header.
         rows = [["dense", "—", format_count(self.dense.cost["params"]),
-                 format_count(self.dense.cost["ops"]), "—", "—", "—", "—",
-                 f"{self.dense.accuracy * 100:.1f}" if self.dense.accuracy is not None else "-"]]
+                 format_count(self.dense.cost["ops"]),
+                 format_reduction(None), format_reduction(None),
+                 format_reduction(None), format_reduction(None),
+                 _accuracy_cell(self.dense.accuracy)]]
         for report in self.reports:
             rows.append([
                 report.spec.display_label, report.policy,
@@ -137,9 +159,14 @@ class SweepResult:
                 format_reduction(report.ops_reduction),
                 format_reduction(report.energy_reduction),
                 format_reduction(report.latency_reduction),
-                f"{report.accuracy * 100:.1f}" if report.accuracy is not None else "-",
+                _accuracy_cell(report.accuracy),
             ])
         return render_table(headers, rows, title=title)
+
+
+def _accuracy_cell(accuracy: Optional[float]) -> str:
+    """The Acc[%] cell: percentage, or the formatters' missing-value fallback."""
+    return f"{accuracy * 100:.1f}" if accuracy is not None else "-"
 
 
 @dataclass
@@ -247,6 +274,14 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
     re-raises the first failure in spec order; ``"skip"`` records it as a
     :class:`SweepFailure` on ``SweepResult.failures`` and keeps every other
     shard's report.
+
+    Specs with ``profile=True`` collect their layer-scoped op profile
+    *inside* the shard that runs them (op hooks are thread-local) and ship
+    it back with the report — through pickle for process shards and
+    through the ``to_dict`` wire format for distributed runners.  The
+    spec-ordered merge makes per-layer call counts identical across
+    ``serial`` / ``thread`` / ``process``;
+    :meth:`SweepResult.combined_profile` folds them into one profile.
     """
     if specs is None:
         specs = table2_specs(seed=seed)

@@ -26,6 +26,7 @@ from ..core import ALFConfig
 from ..metrics import MethodResult, pareto_front, profile_model
 from ..metrics.tables import format_count, render_table
 from ..models import plain20, resnet20
+from ..nn.profiler import OpProfile, profile_inference
 from ..nn.utils import seed_everything
 from .paper_values import TABLE2_CIFAR
 from .runtime import ExperimentScale, get_scale, train_vanilla_proxy
@@ -35,7 +36,12 @@ CIFAR_INPUT = (3, 32, 32)
 
 @dataclass
 class TableRow:
-    """One Table II row: measured values next to the paper's."""
+    """One Table II row: measured values next to the paper's.
+
+    ``measured_seconds`` carries the wall-clock of one profiled inference
+    batch of the row's model (``run(..., profile=True)``) next to the
+    analytical OPs column; ``None`` when not profiled.
+    """
 
     method: str
     policy: str
@@ -45,6 +51,7 @@ class TableRow:
     paper_params_m: Optional[float] = None
     paper_ops_m: Optional[float] = None
     paper_accuracy: Optional[float] = None
+    measured_seconds: Optional[float] = None
 
     def as_cells(self) -> List[str]:
         acc = f"{self.accuracy:.1f}" if self.accuracy is not None else "-"
@@ -62,6 +69,9 @@ class TableRow:
 @dataclass
 class Table2Result:
     rows: List[TableRow] = field(default_factory=list)
+    #: Full layer-scoped inference profiles per row (``profile=True`` runs);
+    #: per-layer conv wall-clock for drill-down beyond the table column.
+    profiles: Dict[str, OpProfile] = field(default_factory=dict)
 
     def by_method(self, method: str) -> TableRow:
         for row in self.rows:
@@ -77,7 +87,17 @@ class Table2Result:
     def render(self) -> str:
         headers = ["Method", "Policy", "Params", "OPs", "Acc[%]",
                    "Paper Params", "Paper OPs", "Paper Acc[%]"]
-        return render_table(headers, [r.as_cells() for r in self.rows],
+        measured = any(r.measured_seconds is not None for r in self.rows)
+        if measured:
+            headers.append("t [ms]")
+        rows = []
+        for r in self.rows:
+            cells = r.as_cells()
+            if measured:
+                cells.append(f"{r.measured_seconds * 1e3:.1f}"
+                             if r.measured_seconds is not None else "-")
+            rows.append(cells)
+        return render_table(headers, rows,
                             title="Table II — pruned CNNs on CIFAR-10 (conv layers only)")
 
 
@@ -145,25 +165,45 @@ def table2_cost_specs(seed: int = 0,
     ]
 
 
+def _table2_cost_sweep(seed: int = 0,
+                       alf_remaining_fraction: Optional[float] = None,
+                       workers: Optional[int] = None,
+                       executor: Optional[str] = None,
+                       profile: bool = False):
+    specs = table2_cost_specs(seed=seed,
+                              alf_remaining_fraction=alf_remaining_fraction)
+    if profile:
+        specs = [spec.with_overrides(profile=True) for spec in specs]
+    return run_sweep(
+        specs, model="resnet20", hardware=None, input_shape=CIFAR_INPUT,
+        seed=seed, executor=executor, max_workers=workers)
+
+
 def table2_costs(seed: int = 0,
                  alf_remaining_fraction: Optional[float] = None,
                  workers: Optional[int] = None,
-                 executor: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+                 executor: Optional[str] = None,
+                 profile: bool = False) -> Dict[str, Dict[str, float]]:
     """Cost columns of the compressed Table II rows, via one (sharded) sweep.
 
     The three method evaluations share a single dense ResNet-20 and run in
     parallel when ``workers`` / ``executor`` (or ``REPRO_SWEEP_EXECUTOR``)
     select a parallel strategy; results are identical to the serial
-    per-method runs.
+    per-method runs.  ``profile=True`` adds a ``"seconds"`` entry per
+    method: the measured wall-clock of one profiled inference batch of the
+    compressed model (collected inside the shard that ran the spec).
     """
-    sweep = run_sweep(
-        table2_cost_specs(seed=seed,
-                          alf_remaining_fraction=alf_remaining_fraction),
-        model="resnet20", hardware=None, input_shape=CIFAR_INPUT, seed=seed,
-        executor=executor, max_workers=workers)
-    return {report.method: {"params": report.cost["params"],
-                            "ops": report.cost["ops"]}
-            for report in sweep.reports}
+    sweep = _table2_cost_sweep(seed=seed,
+                               alf_remaining_fraction=alf_remaining_fraction,
+                               workers=workers, executor=executor,
+                               profile=profile)
+    costs = {}
+    for report in sweep.reports:
+        entry = {"params": report.cost["params"], "ops": report.cost["ops"]}
+        if report.profile is not None and report.profile.eval is not None:
+            entry["seconds"] = report.profile.eval.total_seconds
+        costs[report.method] = entry
+    return costs
 
 
 # --------------------------------------------------------------------------- #
@@ -244,23 +284,42 @@ def measure_accuracies(scale: str = "ci", seed: int = 0,
 def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
         alf_remaining_fraction: Optional[float] = None,
         workers: Optional[int] = None,
-        executor: Optional[str] = None) -> Table2Result:
+        executor: Optional[str] = None,
+        profile: bool = False) -> Table2Result:
     """Regenerate Table II (cost columns exact, accuracy from proxy runs).
 
     ``workers`` / ``executor`` shard the per-method cost evaluations across
     a sweep executor (see :func:`repro.api.run_sweep`); the produced table
-    is identical to the serial default.
+    is identical to the serial default.  ``profile=True`` adds a measured
+    ``t [ms]`` column — one layer-scoped profiled inference batch per row,
+    next to the analytical OPs — and keeps the full per-layer profiles on
+    ``Table2Result.profiles``.
     """
-    plain_profile = profile_model(plain20(rng=np.random.default_rng(seed)), CIFAR_INPUT)
-    resnet_profile = profile_model(resnet20(rng=np.random.default_rng(seed)), CIFAR_INPUT)
-    costs = table2_costs(seed=seed,
-                         alf_remaining_fraction=alf_remaining_fraction,
-                         workers=workers, executor=executor)
+    plain_model = plain20(rng=np.random.default_rng(seed))
+    resnet_model = resnet20(rng=np.random.default_rng(seed))
+    plain_profile = profile_model(plain_model, CIFAR_INPUT)
+    resnet_profile = profile_model(resnet_model, CIFAR_INPUT)
+    sweep = _table2_cost_sweep(seed=seed,
+                               alf_remaining_fraction=alf_remaining_fraction,
+                               workers=workers, executor=executor,
+                               profile=profile)
+    costs = {report.method: report.cost for report in sweep.reports}
     amc, fpgm, alf = costs["amc"], costs["fpgm"], costs["alf"]
+
+    result = Table2Result()
+    if profile:
+        # Compressed rows ship their inference profile with the sweep
+        # report; the vanilla rows are measured here on the same builds
+        # the analytical cost columns used.
+        result.profiles["Plain-20"] = profile_inference(plain_model, CIFAR_INPUT)
+        result.profiles["ResNet-20"] = profile_inference(resnet_model, CIFAR_INPUT)
+        for label, method in (("AMC", "amc"), ("FPGM", "fpgm"), ("ALF", "alf")):
+            report = sweep.by_method(method)
+            if report.profile is not None and report.profile.eval is not None:
+                result.profiles[label] = report.profile.eval
 
     accuracies = measure_accuracies(scale=scale, seed=seed) if measure_accuracy else None
 
-    result = Table2Result()
     paper = TABLE2_CIFAR
     result.rows.append(TableRow(
         "Plain-20", "—", plain_profile.total_params(conv_only=True),
@@ -289,6 +348,9 @@ def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
         accuracies.alf if accuracies else None,
         paper["ALF"]["params_m"], paper["ALF"]["ops_m"], paper["ALF"]["accuracy"],
     ))
+    for row in result.rows:
+        if row.method in result.profiles:
+            row.measured_seconds = result.profiles[row.method].total_seconds
     return result
 
 

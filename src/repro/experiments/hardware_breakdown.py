@@ -17,10 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..api import ALFSpec, CompressionSpec, run_sweep
 from ..hardware import EyerissSpec, EYERISS_PAPER, NetworkReport
 from ..metrics.tables import render_table
+from ..models import build_model
 from ..models.plain import plain_layer_names
+from ..nn.profiler import OpProfile, layer_op_seconds, profile_inference
 from .paper_values import HEADLINE_CLAIMS
 
 CIFAR_INPUT = (3, 32, 32)
@@ -28,7 +32,12 @@ CIFAR_INPUT = (3, 32, 32)
 
 @dataclass
 class LayerEnergyRow:
-    """Energy / latency of one named convolution for vanilla and ALF models."""
+    """Energy / latency of one named convolution for vanilla and ALF models.
+
+    ``vanilla_seconds`` / ``alf_seconds`` carry the *measured* per-layer
+    conv wall-clock of a profiled inference (``run(..., profile=True)``)
+    next to the modeled Eyeriss numbers; ``None`` when not profiled.
+    """
 
     name: str
     vanilla_register_file: float
@@ -39,6 +48,8 @@ class LayerEnergyRow:
     alf_global_buffer: float
     alf_dram: float
     alf_latency: float
+    vanilla_seconds: Optional[float] = None
+    alf_seconds: Optional[float] = None
 
     @property
     def vanilla_total_energy(self) -> float:
@@ -59,6 +70,10 @@ class Fig3Result:
     latency_reduction: float = 0.0
     vanilla_report: Optional[NetworkReport] = None
     alf_report: Optional[NetworkReport] = None
+    #: Measured op profiles of one inference batch per execution
+    #: (``run(..., profile=True)``); the per-conv seconds land on the rows.
+    vanilla_profile: Optional[OpProfile] = None
+    alf_profile: Optional[OpProfile] = None
 
     def anomalous_layers(self) -> List[str]:
         """Layers where the ALF-compressed execution is *slower* than vanilla.
@@ -71,15 +86,47 @@ class Fig3Result:
     def render(self) -> str:
         headers = ["Layer", "RF (van)", "GB (van)", "DRAM (van)", "Lat (van)",
                    "RF (ALF)", "GB (ALF)", "DRAM (ALF)", "Lat (ALF)"]
-        rows = [[
-            r.name,
-            f"{r.vanilla_register_file:.2e}", f"{r.vanilla_global_buffer:.2e}",
-            f"{r.vanilla_dram:.2e}", f"{r.vanilla_latency:.2e}",
-            f"{r.alf_register_file:.2e}", f"{r.alf_global_buffer:.2e}",
-            f"{r.alf_dram:.2e}", f"{r.alf_latency:.2e}",
-        ] for r in self.rows]
+        measured = any(r.vanilla_seconds is not None or r.alf_seconds is not None
+                       for r in self.rows)
+        if measured:
+            headers += ["t (van) [s]", "t (ALF) [s]"]
+        rows = []
+        for r in self.rows:
+            cells = [
+                r.name,
+                f"{r.vanilla_register_file:.2e}", f"{r.vanilla_global_buffer:.2e}",
+                f"{r.vanilla_dram:.2e}", f"{r.vanilla_latency:.2e}",
+                f"{r.alf_register_file:.2e}", f"{r.alf_global_buffer:.2e}",
+                f"{r.alf_dram:.2e}", f"{r.alf_latency:.2e}",
+            ]
+            if measured:
+                cells += [
+                    f"{r.vanilla_seconds:.2e}" if r.vanilla_seconds is not None else "-",
+                    f"{r.alf_seconds:.2e}" if r.alf_seconds is not None else "-",
+                ]
+            rows.append(cells)
         return render_table(headers, rows,
                             title=f"Fig. 3 — {self.architecture}: energy breakdown and latency")
+
+
+def _conv_seconds(profile: Optional[OpProfile],
+                  names: Sequence[str]) -> Dict[str, float]:
+    """Map measured per-layer ``conv2d`` seconds onto the paper's CONV names.
+
+    Both the profile's layer dict and ``names`` walk the network's
+    convolutions in forward order, so a positional zip aligns them.
+    ResNet variants execute extra 1x1 shortcut convolutions the paper's
+    naming does not cover — those (``.shortcut.`` paths) are dropped before
+    aligning.  An alignment that still disagrees in length yields ``{}``
+    rather than mislabelled numbers.
+    """
+    if profile is None:
+        return {}
+    per_layer = layer_op_seconds(profile, "conv2d")
+    paths = [path for path in per_layer if ".shortcut." not in path]
+    if len(paths) != len(names):
+        return {}
+    return {name: per_layer[path] for name, path in zip(names, paths)}
 
 
 def run(architecture: str = "plain20", batch: int = 16,
@@ -87,7 +134,8 @@ def run(architecture: str = "plain20", batch: int = 16,
         per_layer_fractions: Optional[Dict[str, float]] = None,
         spec: Optional[EyerissSpec] = None, seed: int = 0,
         workers: Optional[int] = None,
-        executor: Optional[str] = None) -> Fig3Result:
+        executor: Optional[str] = None,
+        profile: bool = False) -> Fig3Result:
     """Evaluate vanilla vs. ALF-compressed execution on the Eyeriss model.
 
     One single-spec :func:`repro.api.run_sweep` call supplies both sides:
@@ -98,6 +146,12 @@ def run(architecture: str = "plain20", batch: int = 16,
     follow the paper's CONV1..CONV432 naming; CONV1 (the stem) keeps a
     dense convolution, so the forced per-layer fractions apply from
     CONV211 on.
+
+    ``profile=True`` additionally measures one inference batch of each
+    execution with the layer-scoped op profiler: the per-conv wall-clock
+    lands on the rows (``vanilla_seconds`` / ``alf_seconds``, rendered as
+    two extra columns) next to the modeled Eyeriss numbers, and the full
+    profiles are kept on ``vanilla_profile`` / ``alf_profile``.
     """
     names = plain_layer_names()
     if architecture not in ("plain20", "resnet20"):
@@ -110,7 +164,7 @@ def run(architecture: str = "plain20", batch: int = 16,
     )
     sweep = run_sweep(
         [CompressionSpec(method="alf", config=config, hardware_batch=batch,
-                         layer_names=names, seed=seed,
+                         layer_names=names, seed=seed, profile=profile,
                          label=f"ALF-{architecture}")],
         model=architecture, hardware=spec or EYERISS_PAPER,
         input_shape=CIFAR_INPUT, seed=seed,
@@ -119,6 +173,17 @@ def run(architecture: str = "plain20", batch: int = 16,
     report = sweep.reports[0]
     vanilla_report = report.dense_hardware
     alf_report = report.compressed_hardware
+
+    alf_profile = report.profile.eval if report.profile is not None else None
+    vanilla_profile = None
+    if profile:
+        # The sweep's dense stage is shared bookkeeping, not a profiled
+        # forward — measure the vanilla execution here, on the same build.
+        vanilla_profile = profile_inference(
+            build_model(architecture, rng=np.random.default_rng(seed)),
+            CIFAR_INPUT, batch=batch)
+    vanilla_seconds = _conv_seconds(vanilla_profile, names)
+    alf_seconds = _conv_seconds(alf_profile, names)
 
     vanilla_energy = {r.layer.name: r.energy for r in vanilla_report.layers}
     vanilla_latency = {r.layer.name: r.latency.total_cycles for r in vanilla_report.layers}
@@ -139,11 +204,15 @@ def run(architecture: str = "plain20", batch: int = 16,
             alf_global_buffer=alf_e.global_buffer,
             alf_dram=alf_e.dram,
             alf_latency=alf_latency.get(name, vanilla_latency[name]),
+            vanilla_seconds=vanilla_seconds.get(name),
+            alf_seconds=alf_seconds.get(name),
         ))
     result.energy_reduction = report.energy_reduction
     result.latency_reduction = report.latency_reduction
     result.vanilla_report = vanilla_report
     result.alf_report = alf_report
+    result.vanilla_profile = vanilla_profile
+    result.alf_profile = alf_profile
     return result
 
 

@@ -22,6 +22,7 @@ from . import functional
 from . import init
 from . import loss
 from . import optim
+from . import profiler
 from . import ste
 from . import utils
 from .backend import (
@@ -56,17 +57,27 @@ from .layers import (
 )
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
+from .profiler import (
+    OpProfile,
+    OpStat,
+    RunProfile,
+    collect_profile,
+    layer_op_seconds,
+    profile_inference,
+)
 from .tensor import (
     Tensor,
     add_op_hook,
     apply_op,
     concatenate,
+    current_layer,
     enable_grad,
     grad_mode_override,
     installed_op_hooks,
     is_grad_enabled,
     no_grad,
     ones,
+    op_hooks_active,
     profile_ops,
     randn,
     register_op,
@@ -85,14 +96,18 @@ __all__ = [
     "Identity", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten", "Dropout",
     "activation_module",
     "SGD", "Adam", "StepLR", "MultiStepLR", "CosineAnnealingLR",
-    "functional", "init", "loss", "optim", "ste", "utils", "backend",
+    "functional", "init", "loss", "optim", "profiler", "ste", "utils",
+    "backend",
     "concatenate", "stack", "zeros", "ones", "randn",
     # engine: grad modes, tape introspection, op registry
     "no_grad", "enable_grad", "is_grad_enabled", "grad_mode_override",
     "set_grad_mode", "tape_nodes_created",
     "register_op", "registered_ops", "apply_op",
     "add_op_hook", "remove_op_hook", "installed_op_hooks", "restore_op_hooks",
-    "profile_ops",
+    "profile_ops", "op_hooks_active", "current_layer",
+    # profiler: structured layer-scoped reports
+    "OpProfile", "OpStat", "RunProfile", "collect_profile",
+    "layer_op_seconds", "profile_inference",
     # engine: backends
     "Backend", "NumpyBackend", "available_backends", "current_backend",
     "get_backend", "register_backend", "set_backend", "use_backend",

@@ -248,7 +248,22 @@ register_backend("numpy32", lambda: NumpyBackend(np.float32))
 
 def _initial_backend() -> Backend:
     env = os.environ.get("REPRO_DEFAULT_DTYPE", "").strip()
-    return NumpyBackend(np.dtype(env) if env else np.float64)
+    if not env:
+        return NumpyBackend(np.float64)
+    # np.dtype raises an opaque TypeError for a typo'd value; since this runs
+    # at import time, translate it into an error naming the variable and the
+    # accepted values instead of letting `import repro` die mysteriously.
+    try:
+        dtype = np.dtype(env)
+    except TypeError as exc:
+        raise ValueError(
+            f"invalid REPRO_DEFAULT_DTYPE value {env!r}: expected a floating "
+            "numpy dtype name such as 'float32' or 'float64'") from exc
+    if dtype.kind != "f":
+        raise ValueError(
+            f"invalid REPRO_DEFAULT_DTYPE value {env!r}: {dtype} is not a "
+            "floating dtype; use 'float32' or 'float64'")
+    return NumpyBackend(dtype)
 
 
 #: Process-wide default backend, targeted by :func:`set_backend`.

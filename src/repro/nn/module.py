@@ -12,7 +12,14 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, grad_mode_override, no_grad
+from .tensor import (
+    Tensor,
+    grad_mode_override,
+    no_grad,
+    op_hooks_active,
+    pop_layer_scope,
+    push_layer_scope,
+)
 
 
 class Parameter(Tensor):
@@ -30,6 +37,12 @@ class Module:
     serialization and train/eval mode propagation.
     """
 
+    #: The attribute name this module was registered under in its parent;
+    #: layer scopes (:mod:`repro.nn.profiler`) join these into module paths.
+    #: A module assigned to several attributes keeps the *last* assignment's
+    #: name — aliased (weight-shared) submodules are profiled under it.
+    _scope: Optional[str] = None
+
     def __init__(self):
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
@@ -44,6 +57,7 @@ class Module:
             self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
         elif isinstance(value, Module):
             self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+            value._scope = name
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
@@ -160,6 +174,19 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        # Layer-scoped profiling: while op hooks are installed in this
+        # thread, nested module calls maintain a path stack so apply_op can
+        # attribute every op to its executing layer.  Without hooks the
+        # check is a single truthiness test and no scope is ever pushed.
+        if op_hooks_active():
+            push_layer_scope(self._scope or type(self).__name__)
+            try:
+                return self._invoke(args, kwargs)
+            finally:
+                pop_layer_scope()
+        return self._invoke(args, kwargs)
+
+    def _invoke(self, args, kwargs):
         # Eval-mode modules run tape-free unless an explicit grad-mode
         # override (no_grad / enable_grad) is already in force, or a graph
         # is flowing through the inputs (e.g. a frozen submodule inside a

@@ -19,8 +19,10 @@ operation), the explicit tape buys three things:
   :mod:`repro.nn.functional` for conv/pool, :mod:`repro.nn.ste` for the
   straight-through estimators).
 * **Per-op profiling hooks** — :func:`add_op_hook` /
-  :func:`profile_ops` observe every op execution (name + wall-clock) with
-  zero overhead when no hook is installed.
+  :func:`profile_ops` observe every op execution (name + wall-clock + the
+  executing layer's module path) with zero overhead when no hook is
+  installed; :mod:`repro.nn.profiler` builds structured per-layer reports
+  on top.
 
 Only the operations required by the ALF reproduction are implemented, but
 they are implemented completely (broadcasting, axis reductions, slicing)
@@ -236,30 +238,58 @@ def tape_nodes_created() -> int:
 #: clobber a hook a concurrently-running shard installed.
 _OP_HOOKS_TLS = threading.local()
 
+OpHook = Callable[[str, float, str], None]
 
-def _op_hooks() -> List[Callable[[str, float], None]]:
+
+def _op_hooks() -> List[OpHook]:
     hooks = getattr(_OP_HOOKS_TLS, "hooks", None)
     if hooks is None:
         hooks = _OP_HOOKS_TLS.hooks = []
     return hooks
 
 
-def add_op_hook(hook: Callable[[str, float], None]) -> Callable[[str, float], None]:
-    """Install ``hook(op_name, seconds)`` on every op run by this thread."""
+def op_hooks_active() -> bool:
+    """Whether any op hook is installed in the calling thread.
+
+    This is the one check :meth:`repro.nn.Module.__call__` performs before
+    pushing a layer scope — the no-profile path stays a single truthiness
+    test, exactly like the hook fast path in :func:`apply_op`.
+    """
+    return bool(getattr(_OP_HOOKS_TLS, "hooks", None))
+
+
+def add_op_hook(hook: OpHook) -> OpHook:
+    """Install ``hook(op_name, seconds, layer)`` on every op run by this thread.
+
+    ``layer`` is the executing layer's module path (dot-joined
+    :func:`current_layer` of the innermost :class:`~repro.nn.Module` call),
+    or ``""`` for ops executed outside any module forward.
+    """
     _op_hooks().append(hook)
     return hook
 
 
-def remove_op_hook(hook: Callable[[str, float], None]) -> None:
-    _op_hooks().remove(hook)
+def remove_op_hook(hook: OpHook) -> None:
+    """Uninstall ``hook`` from this thread; a no-op when it is not installed.
+
+    Idempotency matters: sweep shards restore their op-hook snapshot via
+    :func:`restore_op_hooks` on exit, and when that reset fires *inside* an
+    active :func:`profile_ops` / ``collect_profile`` context the context's
+    own hook is already gone by the time its ``finally`` runs.
+    """
+    hooks = _op_hooks()
+    try:
+        hooks.remove(hook)
+    except ValueError:
+        pass
 
 
-def installed_op_hooks() -> List[Callable[[str, float], None]]:
+def installed_op_hooks() -> List[OpHook]:
     """A snapshot of the calling thread's installed op hooks."""
     return list(_op_hooks())
 
 
-def restore_op_hooks(hooks: Iterable[Callable[[str, float], None]]) -> None:
+def restore_op_hooks(hooks: Iterable[OpHook]) -> None:
     """Reset this thread's op hooks to an :func:`installed_op_hooks` snapshot.
 
     Sweep shards restore the snapshot after running a spec so a hook
@@ -269,6 +299,39 @@ def restore_op_hooks(hooks: Iterable[Callable[[str, float], None]]) -> None:
     _op_hooks()[:] = list(hooks)
 
 
+# -- layer scopes ------------------------------------------------------------ #
+#: Per-thread stack of module names pushed by ``Module.__call__`` while op
+#: hooks are installed; :func:`apply_op` joins it into the layer path handed
+#: to every hook.  Thread-local for the same reason the hooks are: a profiled
+#: shard must attribute ops to *its* layers only.
+_LAYER_SCOPE_TLS = threading.local()
+
+
+def _layer_stack() -> List[str]:
+    stack = getattr(_LAYER_SCOPE_TLS, "stack", None)
+    if stack is None:
+        stack = _LAYER_SCOPE_TLS.stack = []
+    return stack
+
+
+def push_layer_scope(name: str) -> None:
+    """Enter a named layer scope (called by ``Module.__call__`` when profiling)."""
+    _layer_stack().append(name)
+
+
+def pop_layer_scope() -> None:
+    """Leave the innermost layer scope."""
+    stack = getattr(_LAYER_SCOPE_TLS, "stack", None)
+    if stack:
+        stack.pop()
+
+
+def current_layer() -> str:
+    """The executing layer's module path (``""`` outside any module forward)."""
+    stack = getattr(_LAYER_SCOPE_TLS, "stack", None)
+    return ".".join(stack) if stack else ""
+
+
 @contextmanager
 def profile_ops():
     """Collect per-op call counts and wall-clock while the context is active.
@@ -276,10 +339,13 @@ def profile_ops():
     Yields a dict ``{op_name: [calls, total_seconds]}`` filled in place.
     Hooks are thread-local: ops executed by other threads (e.g. parallel
     sweep shards) are not observed — profile inside the shard instead.
+    For layer-resolved statistics use
+    :func:`repro.nn.profiler.collect_profile`, which returns a structured
+    :class:`~repro.nn.profiler.OpProfile`.
     """
     stats: Dict[str, List[float]] = {}
 
-    def hook(name: str, seconds: float) -> None:
+    def hook(name: str, seconds: float, layer: str) -> None:
         entry = stats.setdefault(name, [0, 0.0])
         entry[0] += 1
         entry[1] += seconds
@@ -296,11 +362,12 @@ def apply_op(op: Op, *inputs: "Tensor", **kwargs) -> "Tensor":
     arrays = tuple(t.data for t in inputs)
     hooks = getattr(_OP_HOOKS_TLS, "hooks", None)
     if hooks:
+        layer = current_layer()
         start = time.perf_counter()
         data, ctx = op.forward(*arrays, **kwargs)
         elapsed = time.perf_counter() - start
         for hook in tuple(hooks):
-            hook(op.name, elapsed)
+            hook(op.name, elapsed, layer)
     else:
         data, ctx = op.forward(*arrays, **kwargs)
     if _grad_mode() is False:
