@@ -1,0 +1,153 @@
+"""Benchmark — ``SweepSession``: submission overhead and streaming payoff.
+
+The session layer exists so sweeps can be *submitted and observed* instead
+of awaited; this benchmark measures what that costs and what it buys:
+
+* ``submit_seconds_per_spec`` — pure scheduler overhead: wall-clock of
+  ``submit_all`` returning on a thread executor (shards run
+  asynchronously, so the submit loop's own cost is what is measured),
+  after the dense baseline already materialized;
+* ``serial_seconds`` / ``session_thread_seconds_4workers`` — the identical
+  stall-profile sweep (the same workload as the sharding benchmark:
+  specs blocked on IO-like stalls, reflecting production sweeps) through
+  the batch façade and through a streamed session;
+* ``streaming_speedup_4workers`` — serial / session-thread, asserted
+  ≥ 1.5x (the session must not give back the executor layer's win);
+* ``first_result_seconds`` — time until ``as_completed`` yields the first
+  report: the latency a consumer of streamed results actually observes,
+  compared to waiting for the whole serial batch.
+
+All metrics land in ``BENCH_engine.json`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.api as api
+from repro.api.adapters import MagnitudeMethod
+from repro.api.spec import MagnitudeSpec
+from repro.models import lenet
+
+from conftest import record_metric, run_once
+
+NUM_SPECS = 8
+STALL_SECONDS = 0.3
+WORKERS = 4
+INPUT_SHAPE = (1, 12, 12)
+
+
+@dataclass
+class SessionStallConfig(MagnitudeSpec):
+    """Magnitude pruning with a fixed fit-time stall (benchmark only)."""
+
+    stall_seconds: float = STALL_SECONDS
+
+
+def _register_stall_method() -> str:
+    @api.register_method("bench-session-stall", SessionStallConfig, policy="—",
+                         summary="magnitude pruning behind a data-stall "
+                                 "(session benchmark only)")
+    class StallMethod(MagnitudeMethod):
+        def fit(self, train_loader=None, val_loader=None, epochs: int = 0):
+            time.sleep(self.config.stall_seconds)
+            return super().fit(train_loader, val_loader, epochs)
+
+    return "bench-session-stall"
+
+
+def _table(sweep: api.SweepResult):
+    return [(r.spec.display_label, r.cost["params"], r.cost["ops"])
+            for r in sweep.reports]
+
+
+def _stall_specs(method: str):
+    return [api.CompressionSpec(method=method, config=SessionStallConfig(),
+                                label=f"stall-{index}")
+            for index in range(NUM_SPECS)]
+
+
+def _session_sweep(model, specs):
+    """One streamed session run: total wall plus time-to-first-result."""
+    with api.SweepSession(model=model, hardware=None,
+                          input_shape=INPUT_SHAPE, executor="thread",
+                          max_workers=WORKERS) as session:
+        start = time.perf_counter()
+        futures = session.submit_all(specs)
+        first_result = None
+        for future in session.as_completed(futures):
+            if first_result is None:
+                first_result = time.perf_counter() - start
+        sweep = session.result()
+        total = time.perf_counter() - start
+    return sweep, total, first_result
+
+
+def _submission_overhead(model, specs) -> float:
+    """Per-spec cost of the submit machinery itself (thread executor)."""
+    with api.SweepSession(model=model, hardware=None,
+                          input_shape=INPUT_SHAPE, executor="thread",
+                          max_workers=WORKERS) as session:
+        # The first submit materializes the dense baseline; the measured
+        # batch then exercises only the scheduler (shards run async).
+        session.submit(specs[0])
+        start = time.perf_counter()
+        session.submit_all(specs[1:])
+        submit_seconds = time.perf_counter() - start
+        session.result()
+    return submit_seconds / max(1, len(specs) - 1)
+
+
+def test_bench_session_streaming(benchmark):
+    method = _register_stall_method()
+    try:
+        model = lenet(num_classes=4, in_channels=1, width=8,
+                      rng=np.random.default_rng(0))
+        specs = _stall_specs(method)
+
+        start = time.perf_counter()
+        serial = api.run_sweep(specs, model=model, hardware=None,
+                               input_shape=INPUT_SHAPE, executor="serial")
+        serial_seconds = time.perf_counter() - start
+
+        # The streamed session carries the pedantic benchmark timing so the
+        # JSON wall_clock_seconds entry is the session run itself.
+        run_once(benchmark, lambda: _session_sweep(model, specs))
+        session_sweep, session_seconds, first_result = _session_sweep(
+            model, specs)
+
+        submit_per_spec = _submission_overhead(model, specs)
+        speedup = serial_seconds / session_seconds
+
+        record_metric("host_cpus", os.cpu_count())
+        record_metric("num_specs", NUM_SPECS)
+        record_metric("stall_seconds_per_spec", STALL_SECONDS)
+        record_metric("serial_seconds", round(serial_seconds, 4))
+        record_metric("session_thread_seconds_4workers",
+                      round(session_seconds, 4))
+        record_metric("streaming_speedup_4workers", round(speedup, 3))
+        record_metric("first_result_seconds", round(first_result, 4))
+        record_metric("submit_seconds_per_spec", round(submit_per_spec, 6))
+
+        print(f"\nsweep session ({NUM_SPECS} specs, {STALL_SECONDS}s stall "
+              f"each, {WORKERS} workers):")
+        print(f"  serial batch    : {serial_seconds:.3f}s")
+        print(f"  session (thread): {session_seconds:.3f}s  "
+              f"({speedup:.2f}x vs serial)")
+        print(f"  first streamed result after {first_result:.3f}s "
+              f"(vs {serial_seconds:.3f}s for the whole serial batch)")
+        print(f"  submission overhead: {submit_per_spec * 1e3:.2f}ms/spec")
+
+        # Streaming must not perturb the result, give back the executor
+        # layer's win, or delay the first report past the serial batch.
+        assert _table(session_sweep) == _table(serial)
+        assert speedup >= 1.5, (
+            f"session over thread executor with {WORKERS} workers only "
+            f"reached {speedup:.2f}x over serial")
+        assert first_result < serial_seconds
+    finally:
+        api.unregister_method(method)

@@ -8,6 +8,7 @@ dense profile and the Eyeriss hardware evaluation computed once.
 
 Run:  python examples/baseline_comparison.py [--no-hardware]
       python examples/baseline_comparison.py --executor process --workers 4
+      python examples/baseline_comparison.py --executor remote --stream
 """
 
 import argparse
@@ -25,11 +26,22 @@ def main():
                         help="sweep sharding strategy (default: serial, or "
                              "REPRO_SWEEP_EXECUTOR)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="worker cap for thread/process executors")
+                        help="worker cap for thread/process/remote executors")
+    parser.add_argument("--stream", action="store_true",
+                        help="submit through a SweepSession and print each "
+                             "method's progress as shard results stream back")
     args = parser.parse_args()
 
-    sweep = api.run_sweep(hardware=None if args.no_hardware else api.EYERISS_PAPER,
-                          executor=args.executor, max_workers=args.workers)
+    hardware = None if args.no_hardware else api.EYERISS_PAPER
+    specs = api.table2_specs()
+    with api.SweepSession(model="resnet20", hardware=hardware,
+                          executor=args.executor,
+                          max_workers=args.workers) as session:
+        if args.stream:
+            session.add_progress_callback(
+                api.print_progress("sweep", total=len(specs)))
+        session.submit_all(specs, fail_fast=True)
+        sweep = session.result()
     print(sweep.render(title="Compression methods on ResNet-20 @ CIFAR-10 geometry"))
 
     cheapest = min(sweep.reports, key=lambda r: r.cost["ops"])

@@ -25,6 +25,9 @@ def main():
                              "(serial/thread/process)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker cap for the cost-column sweep")
+    parser.add_argument("--stream", action="store_true",
+                        help="print per-method progress while the cost "
+                             "sweep's shard results stream in")
     args = parser.parse_args()
 
     print("=" * 72)
@@ -32,7 +35,8 @@ def main():
     print("=" * 72)
     result = cifar_comparison.run(scale=args.scale,
                                   measure_accuracy=not args.skip_accuracy,
-                                  workers=args.workers, executor=args.executor)
+                                  workers=args.workers, executor=args.executor,
+                                  stream=args.stream)
     print(result.render())
 
     reductions = cifar_comparison.headline_reductions(result)

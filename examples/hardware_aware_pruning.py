@@ -31,6 +31,9 @@ def main():
     parser.add_argument("--profile", action="store_true",
                         help="measure per-layer wall-clock with the op "
                              "profiler next to the modeled numbers")
+    parser.add_argument("--stream", action="store_true",
+                        help="print the sweep session's scheduling "
+                             "milestones while the evaluation runs")
     args = parser.parse_args()
 
     spec = EYERISS_PAPER
@@ -42,7 +45,7 @@ def main():
     result = hardware_breakdown.run(architecture=args.arch, batch=args.batch,
                                     remaining_fraction=args.remaining,
                                     workers=args.workers, executor=args.executor,
-                                    profile=args.profile)
+                                    profile=args.profile, stream=args.stream)
     print()
     header = (f"{'Layer':>9} | {'vanilla energy':>16} | {'ALF energy':>12} | "
               f"{'vanilla latency':>15} | {'ALF latency':>12}")

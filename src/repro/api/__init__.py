@@ -21,13 +21,25 @@ Public surface
 :func:`run_sweep`
     Batch runner over many :class:`CompressionSpec`, with the model,
     loaders, dense profile and dense hardware evaluation shared.  Shards
-    across workers via ``executor="thread"`` / ``"process"`` (or the
-    ``REPRO_SWEEP_EXECUTOR`` environment variable) with a deterministic,
-    spec-ordered merge; ``on_error="skip"`` keeps healthy shards when a
-    spec raises.
+    across workers via ``executor="thread"`` / ``"process"`` /
+    ``"remote"`` (or the ``REPRO_SWEEP_EXECUTOR`` environment variable)
+    with a deterministic, spec-ordered merge; ``on_error="skip"`` keeps
+    healthy shards when a spec raises.  A thin façade over
+    :class:`SweepSession`.
+:class:`SweepSession` / :class:`SweepFuture` / :class:`RetryPolicy`
+    Streaming submission: ``submit(spec)`` / ``submit_all(specs)`` return
+    futures (``result`` / ``done`` / ``cancel``, completion callbacks),
+    the session adds progress callbacks and ``as_completed()`` iteration,
+    and per-spec retry/timeout policy is enforced by the session
+    scheduler.
+:class:`SweepJob` / :class:`RemoteExecutor`
+    The versioned ``repro-job/1`` wire protocol (spec payload + model
+    registry name + seed + digest-guarded dense baseline — never live
+    modules) and its reference transport: worker subprocesses speaking
+    JSON over stdio (``python -m repro.api.worker``).
 :class:`SweepExecutor` / :func:`register_executor` / :func:`available_executors`
     The string-keyed executor registry (``"serial"``, ``"thread"``,
-    ``"process"``).
+    ``"process"``, ``"remote"``).
 :class:`CompressionMethod` / :class:`CompressedModel`
     The protocol every method adapter implements, and its output.
 :func:`available_methods` / :func:`get_method` / :func:`register_method`
@@ -61,6 +73,7 @@ from .executor import (
     EngineState,
     ProcessExecutor,
     SerialExecutor,
+    ShardPool,
     ShardResult,
     SweepExecutor,
     ThreadExecutor,
@@ -68,6 +81,28 @@ from .executor import (
     get_executor,
     register_executor,
     resolve_executor,
+)
+from .jobs import (
+    JOB_RESULT_SCHEMA,
+    JOB_SCHEMA,
+    LoaderPlan,
+    RemoteExecutor,
+    RemoteJobError,
+    RemoteWorkerError,
+    SweepJob,
+    execute_job,
+    worker_main,
+)
+from .session import (
+    RetryPolicy,
+    SessionEvent,
+    ShardTask,
+    SweepCancelledError,
+    SweepFuture,
+    SweepSession,
+    SweepTimeoutError,
+    execute_shard,
+    print_progress,
 )
 from .pipeline import (
     CompressionPipeline,
@@ -98,6 +133,7 @@ from .spec import (
 )
 from .sweep import (
     ALF_TABLE2_STAGE_REMAINING,
+    FAILURE_SCHEMA,
     SweepFailure,
     SweepResult,
     run_sweep,
@@ -109,10 +145,19 @@ __all__ = [
     "compress", "run_sweep", "CompressionPipeline", "CompressionReport",
     "SweepResult", "SweepFailure", "DenseBaseline", "table2_specs",
     "resolve_loaders",
+    # sessions
+    "SweepSession", "SweepFuture", "RetryPolicy", "SessionEvent",
+    "SweepTimeoutError", "SweepCancelledError", "ShardTask",
+    "execute_shard", "print_progress",
+    # wire protocol / remote workers
+    "SweepJob", "RemoteExecutor", "RemoteJobError", "RemoteWorkerError",
+    "LoaderPlan", "execute_job", "worker_main",
+    "JOB_SCHEMA", "JOB_RESULT_SCHEMA", "FAILURE_SCHEMA",
     # executors
     "SweepExecutor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
-    "ShardResult", "EngineState", "register_executor", "get_executor",
-    "available_executors", "resolve_executor", "EXECUTOR_ENV_VAR",
+    "ShardPool", "ShardResult", "EngineState", "register_executor",
+    "get_executor", "available_executors", "resolve_executor",
+    "EXECUTOR_ENV_VAR",
     # protocol
     "CompressionMethod", "CompressedModel", "CompressionAdapter",
     # registry

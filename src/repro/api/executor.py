@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Executor as _FuturesExecutor
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
@@ -123,6 +123,66 @@ def _call_shard(fn: Callable[[Any], Any], index: int, task: Any) -> ShardResult:
 
 
 # --------------------------------------------------------------------------- #
+# Incremental submission (the session scheduler's view of an executor)
+# --------------------------------------------------------------------------- #
+class ShardPool:
+    """One *open* executor instance accepting shard submissions over time.
+
+    :meth:`SweepExecutor.open` returns one of these; a
+    :class:`~repro.api.session.SweepSession` submits shards as specs arrive
+    instead of handing the executor a closed batch.  ``submit`` returns a
+    ``concurrent.futures.Future`` resolving to a :class:`ShardResult` — a
+    shard failure is *data* on the result, never an exception out of the
+    future (transport failures, e.g. an unpicklable task, are the
+    exception-raising case the caller must still guard).
+    """
+
+    def submit(self, fn: Callable[[Any], Any], index: int,
+               task: Any) -> "Future[ShardResult]":
+        raise NotImplementedError
+
+    def close(self, wait: bool = True) -> None:
+        """Release the pool's workers (idempotent)."""
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _InlineShardPool(ShardPool):
+    """Run every shard synchronously in the submitting thread.
+
+    The default ``open`` surface for strategies that only implement the
+    batch ``run`` (and for :class:`SerialExecutor`, where it is exactly the
+    reference semantics): ``submit`` blocks until the shard finishes and
+    returns an already-resolved future.
+    """
+
+    def submit(self, fn, index, task):
+        future: "Future[ShardResult]" = Future()
+        future.set_result(_call_shard(fn, index, task))
+        return future
+
+
+class _FuturesShardPool(ShardPool):
+    """A :mod:`concurrent.futures` pool wrapped as a :class:`ShardPool`."""
+
+    def __init__(self, pool: _FuturesExecutor):
+        self._pool = pool
+        self._closed = False
+
+    def submit(self, fn, index, task):
+        return self._pool.submit(_call_shard, fn, index, task)
+
+    def close(self, wait: bool = True) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=wait)
+
+
+# --------------------------------------------------------------------------- #
 # Executors
 # --------------------------------------------------------------------------- #
 class SweepExecutor:
@@ -133,6 +193,12 @@ class SweepExecutor:
     the policy (``run_sweep``'s ``on_error``).  ``fail_fast=True`` allows a
     strategy to stop scheduling new shards after the first failure (the
     serial executor honours it exactly; pools may run shards to completion).
+
+    :meth:`open` is the incremental counterpart used by
+    :class:`~repro.api.session.SweepSession`: it returns a
+    :class:`ShardPool` accepting one submission at a time, so specs can be
+    scheduled, retried and cancelled individually.  Strategies that do not
+    override it fall back to inline (submit-runs-the-shard) execution.
     """
 
     name: str = "abstract"
@@ -142,10 +208,31 @@ class SweepExecutor:
     #: a shippable :class:`EngineState` snapshot instead.
     inline: bool = False
 
+    #: True for strategies whose shards travel as ``repro-job/1`` wire
+    #: payloads (JSON dicts) instead of pickled live task objects; the
+    #: session converts tasks to :class:`~repro.api.jobs.SweepJob`
+    #: payloads before submitting to such a strategy.
+    wire: bool = False
+
     def run(self, fn: Callable[[Any], Any], tasks: Sequence[Any],
             max_workers: Optional[int] = None,
             fail_fast: bool = False) -> List[ShardResult]:
         raise NotImplementedError
+
+    def open(self, max_workers: Optional[int] = None) -> ShardPool:
+        """An incremental-submission pool over this strategy."""
+        return _InlineShardPool()
+
+    def pool_capacity(self, max_workers: Optional[int]) -> int:
+        """Worker capacity of an incremental pool (task count unknown).
+
+        Shared by every pooled strategy so the validation and the default
+        sizing rule (explicit cap, else the host's CPU count) cannot drift
+        between transports.
+        """
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        return max_workers if max_workers is not None else (os.cpu_count() or 1)
 
     def resolved_workers(self, num_tasks: int,
                          max_workers: Optional[int]) -> int:
@@ -180,6 +267,9 @@ class _PoolExecutor(SweepExecutor):
 
     def _make_pool(self, workers: int) -> _FuturesExecutor:
         raise NotImplementedError
+
+    def open(self, max_workers: Optional[int] = None) -> ShardPool:
+        return _FuturesShardPool(self._make_pool(self.pool_capacity(max_workers)))
 
     def run(self, fn, tasks, max_workers=None, fail_fast=False):
         tasks = list(tasks)
@@ -270,13 +360,22 @@ def resolve_executor(executor: Optional[ExecutorLike] = None) -> SweepExecutor:
     """The executor a sweep should use.
 
     Priority: an explicit ``executor`` argument, then the
-    ``REPRO_SWEEP_EXECUTOR`` environment variable, then serial.
+    ``REPRO_SWEEP_EXECUTOR`` environment variable, then serial.  An unknown
+    name in the environment variable raises a ``ValueError`` naming the
+    variable and the registered strategies — a typo'd deployment
+    environment must fail loudly at resolve time, not surface as an opaque
+    ``KeyError`` deep inside the first sweep.
     """
     if executor is not None:
         return get_executor(executor)
     env = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
     if env:
-        return get_executor(env)
+        try:
+            return get_executor(env)
+        except KeyError:
+            raise ValueError(
+                f"invalid {EXECUTOR_ENV_VAR} value {env!r}: expected one of "
+                f"{available_executors()}") from None
     return SerialExecutor()
 
 

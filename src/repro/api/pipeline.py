@@ -35,6 +35,9 @@ from .spec import CompressionSpec
 LoaderPair = Tuple[DataLoader, Optional[DataLoader]]
 DataArg = Union[None, SyntheticImageDataset, DataLoader, Tuple]
 
+#: Wire-format identifier of :meth:`CompressionReport.to_dict` payloads.
+REPORT_SCHEMA = "repro-report/1"
+
 
 @dataclass
 class HardwareTotals:
@@ -208,7 +211,7 @@ class CompressionReport:
         from dataclasses import asdict
 
         return {
-            "schema": "repro-report/1",
+            "schema": REPORT_SCHEMA,
             "method": self.method,
             "policy": self.policy,
             "spec": self.spec.to_dict(),
@@ -233,8 +236,10 @@ class CompressionReport:
         from ..hardware.layer import ConvLayerShape
 
         schema = payload.get("schema")
-        if schema != "repro-report/1":
-            raise ValueError(f"unsupported report schema: {schema!r}")
+        if schema != REPORT_SCHEMA:
+            raise ValueError(
+                f"unsupported report schema {schema!r}: expected "
+                f"'{REPORT_SCHEMA}'")
         spec = CompressionSpec.from_dict(payload["spec"])
         compressed = CompressedModel(
             model=None,  # type: ignore[arg-type]  # dropped by the wire format

@@ -17,6 +17,9 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 from ..core.config import ALFConfig
 from ..nn.module import Module
 
+#: Wire-format identifier of :meth:`CompressionSpec.to_dict` payloads.
+SPEC_SCHEMA = "repro-spec/1"
+
 
 # --------------------------------------------------------------------------- #
 # Per-method configs
@@ -332,6 +335,7 @@ class CompressionSpec:
                 "use a model registry name (e.g. 'resnet20') for specs that "
                 "travel between processes")
         return {
+            "schema": SPEC_SCHEMA,
             "method": self.method,
             "config": config_to_dict(self.config),
             "model": self.model,
@@ -351,12 +355,22 @@ class CompressionSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "CompressionSpec":
-        """Rebuild a spec from :meth:`to_dict` output (extra keys rejected)."""
+        """Rebuild a spec from :meth:`to_dict` output (extra keys rejected).
+
+        Payloads tagged with a different wire-format version are rejected
+        outright — a future ``repro-spec/2`` must not be silently misparsed
+        as today's fields.  Untagged payloads are accepted for backward
+        compatibility with pre-tag dicts.
+        """
+        data = dict(payload)
+        schema = data.pop("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ValueError(
+                f"unsupported spec schema {schema!r}: expected '{SPEC_SCHEMA}'")
         known = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(payload) - known
+        unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown CompressionSpec fields: {sorted(unknown)}")
-        data = dict(payload)
         data["config"] = config_from_dict(data.get("config"))
         if data.get("input_shape") is not None:
             data["input_shape"] = tuple(data["input_shape"])

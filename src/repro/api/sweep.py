@@ -7,46 +7,35 @@ are built once, and the dense profile + Eyeriss evaluation are computed
 once and shared across every method — sweeps do not rebuild anything per
 method.
 
-Because every spec runs on an isolated deep copy of the model under its
-own execution context, specs are embarrassingly parallel: pass
-``executor="thread"`` / ``"process"`` (or set ``REPRO_SWEEP_EXECUTOR``) to
-shard them across workers.  The dense baseline is computed once in the
-parent and broadcast to every shard; shard reports are merged back **in
-spec order**, so the resulting :class:`SweepResult` is identical to a
-serial run whatever the strategy.
+Since PR 5 the batch call is a thin façade over
+:class:`repro.api.session.SweepSession`: every spec becomes a submitted
+future, shard results stream back as they finish, and the session merges
+them **in spec order** under the shared dense baseline — so the returned
+:class:`SweepResult` is bit-identical to the historical serial loop
+whatever executor ran the shards (``"serial"`` / ``"thread"`` /
+``"process"`` / ``"remote"``, or the ``REPRO_SWEEP_EXECUTOR`` environment
+variable).  Callers that need incremental submission, progress callbacks,
+retries, timeouts or cancellation use the session directly.
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
-from ..data import DataLoader, SyntheticImageDataset
 from ..hardware import EYERISS_PAPER, EyerissSpec
 from ..metrics.compression import ComparisonTable, MethodResult, pareto_front
 from ..metrics.tables import format_count, format_reduction, render_table
-from ..models import build_model, default_input_shape
-from ..nn.backend import get_default_dtype, use_backend
 from ..nn.module import Module
 from ..nn.profiler import OpProfile
-from .executor import (
-    EngineState,
-    ExecutorLike,
-    op_hook_isolation,
-    resolve_executor,
-)
-from .pipeline import (
-    CompressionPipeline,
-    CompressionReport,
-    DataArg,
-    DenseBaseline,
-    resolve_loaders,
-)
-from .registry import available_methods, get_method
+from .executor import ExecutorLike
+from .pipeline import CompressionReport, DataArg, DenseBaseline
+from .registry import get_method
+from .session import SweepSession
 from .spec import ALFSpec, AMCSpec, CompressionSpec, LCNNSpec, LowRankSpec
+
+#: Wire-format identifier of :meth:`SweepFailure.to_dict` payloads.
+FAILURE_SCHEMA = "repro-failure/1"
 
 #: Per-stage remaining-filter fractions reproducing Table II's ALF row
 #: (-70% Params / -61% OPs on ResNet-20); see Fig. 2c / Fig. 3 of the paper.
@@ -73,7 +62,14 @@ def table2_specs(seed: int = 0) -> List[CompressionSpec]:
 
 @dataclass
 class SweepFailure:
-    """One spec that died mid-sweep (recorded under ``on_error="skip"``)."""
+    """One spec that died mid-sweep (recorded under ``on_error="skip"``).
+
+    ``attempts`` counts every run the session scheduler gave the spec
+    (1 without a :class:`~repro.api.session.RetryPolicy`); ``category``
+    states *how* it died — ``"error"`` (the shard raised), ``"timeout"``
+    (the per-attempt deadline passed) or ``"cancelled"`` (the future was
+    cancelled before a report existed).
+    """
 
     index: int
     spec: CompressionSpec
@@ -81,10 +77,50 @@ class SweepFailure:
     message: str
     #: The original exception when it survived transport from the worker.
     exception: Optional[BaseException] = None
+    attempts: int = 1
+    category: str = "error"
 
     def __str__(self) -> str:
-        return (f"spec[{self.index}] ({self.spec.display_label}): "
+        base = (f"spec[{self.index}] ({self.spec.display_label}): "
                 f"{self.error_type}: {self.message}")
+        if self.category != "error" or self.attempts > 1:
+            base += f" [{self.category} after {self.attempts} attempt(s)]"
+        return base
+
+    # -- wire format ---------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the live exception object does not travel)."""
+        return {
+            "schema": FAILURE_SCHEMA,
+            "index": int(self.index),
+            "spec": self.spec.to_dict(),
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": int(self.attempts),
+            "category": self.category,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepFailure":
+        schema = payload.get("schema")
+        if schema != FAILURE_SCHEMA:
+            raise ValueError(
+                f"unsupported sweep-failure schema {schema!r}: expected "
+                f"'{FAILURE_SCHEMA}'")
+        category = payload.get("category", "error")
+        if category not in ("error", "timeout", "cancelled"):
+            raise ValueError(
+                f"unknown failure category {category!r}: expected 'error', "
+                "'timeout' or 'cancelled'")
+        return cls(
+            index=int(payload["index"]),
+            spec=CompressionSpec.from_dict(payload["spec"]),
+            error_type=payload["error_type"],
+            message=payload["message"],
+            exception=None,
+            attempts=int(payload.get("attempts", 1)),
+            category=category,
+        )
 
 
 @dataclass
@@ -169,77 +205,6 @@ def _accuracy_cell(accuracy: Optional[float]) -> str:
     return f"{accuracy * 100:.1f}" if accuracy is not None else "-"
 
 
-@dataclass
-class _LoaderPlan:
-    """Deterministic, position-independent recipe for building shard loaders.
-
-    ``DataLoader`` shuffling advances a persistent RNG, so handing the same
-    loader object to several consumers would make each one's batch order —
-    and thus its result — depend on its position in the spec list.  Every
-    consumer (the dense probe and each shard, wherever it runs) therefore
-    builds its loaders from this plan: freshly-seeded loaders over the
-    one-time dataset split, or a deep copy of the pristine resolved pair.
-    The plan is picklable, so process shards rebuild identical loaders.
-    """
-
-    kind: str  # "none" | "synthetic" | "template"
-    train_split: Any = None
-    val_split: Any = None
-    seed: int = 0
-    template: Any = None
-
-    def make(self):
-        if self.kind == "none":
-            return None
-        if self.kind == "synthetic":
-            return (DataLoader(self.train_split, batch_size=32, shuffle=True,
-                               seed=self.seed),
-                    DataLoader(self.val_split, batch_size=64))
-        return copy.deepcopy(self.template)
-
-
-def _loader_plan(data: DataArg, seed: int) -> _LoaderPlan:
-    if data is None:
-        return _LoaderPlan(kind="none")
-    if isinstance(data, SyntheticImageDataset):
-        train_split, val_split = data.split(0.8)
-        return _LoaderPlan(kind="synthetic", train_split=train_split,
-                           val_split=val_split, seed=seed)
-    return _LoaderPlan(kind="template",
-                       template=resolve_loaders(data, seed=seed))
-
-
-@dataclass
-class _ShardTask:
-    """Everything one shard needs, shipped to the worker in one pickle.
-
-    The dense baseline is computed once in the sweep parent and broadcast
-    here so no shard re-profiles (or re-maps on the accelerator) the dense
-    network; ``state`` re-applies the parent's backend / dtype / grad mode
-    inside the worker.
-    """
-
-    spec: CompressionSpec
-    model: Module
-    loaders: _LoaderPlan
-    hardware: Optional[EyerissSpec]
-    dense: DenseBaseline
-    state: Optional[EngineState]
-
-
-def _execute_shard(task: _ShardTask) -> CompressionReport:
-    """Run one spec in an isolated execution context (any worker, any host)."""
-    # state=None means the parent's backend had no registry name to travel
-    # by; run under the ambient state (correct for the serial executor, the
-    # only strategy that can reach such a backend) with hook isolation only.
-    scope = task.state.scope() if task.state is not None else op_hook_isolation()
-    with scope:
-        pipeline = CompressionPipeline(task.spec, hardware=task.hardware)
-        return pipeline.run(model=copy.deepcopy(task.model),
-                            data=task.loaders.make(),
-                            dense=task.dense, inplace=True)
-
-
 def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
               model: Union[str, Module] = "resnet20",
               data: DataArg = None,
@@ -262,13 +227,14 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
     sweep (overriding every spec); because one dense baseline is shared,
     per-spec dtype/backend values must otherwise agree.
 
-    ``executor`` shards the specs: ``"serial"`` (default), ``"thread"`` or
-    ``"process"`` (or any name from
+    ``executor`` shards the specs: ``"serial"`` (default), ``"thread"``,
+    ``"process"`` or ``"remote"`` (or any name from
     :func:`repro.api.available_executors`), with ``max_workers`` capping
     the pool size.  When no executor is passed the ``REPRO_SWEEP_EXECUTOR``
     environment variable is honoured.  Reports are merged in spec order
     under the parent's dense baseline, so every strategy returns the same
-    :class:`SweepResult` as a serial run.
+    :class:`SweepResult` as a serial run (``"remote"`` reports are
+    wire-reconstructed and therefore carry no live compressed model).
 
     ``on_error`` decides what a raising spec does: ``"raise"`` (default)
     re-raises the first failure in spec order; ``"skip"`` records it as a
@@ -278,10 +244,14 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
     Specs with ``profile=True`` collect their layer-scoped op profile
     *inside* the shard that runs them (op hooks are thread-local) and ship
     it back with the report — through pickle for process shards and
-    through the ``to_dict`` wire format for distributed runners.  The
+    through the ``repro-report/1`` wire format for remote workers.  The
     spec-ordered merge makes per-layer call counts identical across
-    ``serial`` / ``thread`` / ``process``;
-    :meth:`SweepResult.combined_profile` folds them into one profile.
+    executors; :meth:`SweepResult.combined_profile` folds them into one
+    profile.
+
+    This is a façade over :class:`repro.api.SweepSession` — submit the
+    same specs there for streaming results, progress callbacks, per-spec
+    retry/timeout policy and cancellation.
     """
     if specs is None:
         specs = table2_specs(seed=seed)
@@ -290,135 +260,10 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
         raise ValueError("specs must contain at least one CompressionSpec")
     if on_error not in ("raise", "skip"):
         raise ValueError("on_error must be 'raise' or 'skip'")
-    if dtype is not None or backend is not None:
-        specs = [s.with_overrides(dtype=dtype or s.dtype,
-                                  backend=backend or s.backend) for s in specs]
-    # The dense baseline is computed once and shared, so every spec must use
-    # the same accounting conventions (and execution engine) for the
-    # reductions to be comparable.
-    conventions = {(s.conv_only, s.hardware_batch, tuple(s.layer_names or ()),
-                    s.dtype, s.backend)
-                   for s in specs}
-    if len(conventions) > 1:
-        raise ValueError(
-            "run_sweep shares one dense baseline across all specs; "
-            "conv_only / hardware_batch / layer_names / dtype / backend "
-            "must match on every "
-            f"spec (got {len(conventions)} different combinations)")
-
-    sweep_executor = resolve_executor(executor)
-    with use_backend(specs[0].backend, dtype=specs[0].dtype):
-        return _run_sweep(specs, model, data, hardware, input_shape, seed,
-                          sweep_executor, max_workers, on_error)
-
-
-def _run_sweep(specs: List[CompressionSpec], model: Union[str, Module],
-               data: DataArg, hardware: Optional[EyerissSpec],
-               input_shape: Optional[Tuple[int, int, int]],
-               seed: int, sweep_executor, max_workers: Optional[int],
-               on_error: str) -> SweepResult:
-    # Capture the engine state up front — it depends only on the ambient
-    # use_backend scope — so an unshippable backend fails before any
-    # expensive stage (model build, dense profiling, probe training) runs.
-    state = _capture_engine_state()
-    if state is None and not sweep_executor.inline:
-        raise RuntimeError(
-            "the active backend is not registered under its name, so its "
-            "state cannot be shipped to parallel sweep workers; register it "
-            "with repro.nn.register_backend() or use executor='serial'")
-
-    if isinstance(model, str):
-        base_model = build_model(model, rng=np.random.default_rng(seed))
-        resolved_shape = input_shape or default_input_shape(model)
-    else:
-        base_model = model
-        if input_shape is None:
-            raise ValueError("input_shape is required when passing a built model")
-        resolved_shape = input_shape
-    resolved_shape = tuple(resolved_shape)
-
-    plan = _loader_plan(data, seed)
-
-    # Stage 1 (parent): the dense baseline — model profile, hardware
-    # evaluation and the trained dense accuracy probe — is computed once
-    # and broadcast to every shard.
-    specs = [spec.with_overrides(input_shape=resolved_shape) for spec in specs]
-    dense = CompressionPipeline(specs[0], hardware=hardware).dense_baseline(
-        base_model, resolved_shape)
-    loaders = plan.make()
-    if loaders is not None and loaders[1] is not None:
-        dense.accuracy = _dense_accuracy(base_model, loaders, specs)
-    result = SweepResult(dense=dense)
-
-    # Stage 2 (workers): one task per spec.  Shards only need the dense
-    # baseline as a "do not recompute" token plus its cost table — the
-    # parent rebinds the full object (layer profile, per-layer hardware
-    # report) in the merge — so a stripped copy travels, keeping the
-    # per-task pickle payload small for the process executor.
-    shard_dense = DenseBaseline(profile=None, cost=dense.cost,  # type: ignore[arg-type]
-                                hardware=None, accuracy=dense.accuracy)
-    tasks = [_ShardTask(spec=spec, model=base_model, loaders=plan,
-                        hardware=hardware, dense=shard_dense, state=state)
-             for spec in specs]
-    shard_results = sweep_executor.run(_execute_shard, tasks,
-                                       max_workers=max_workers,
-                                       fail_fast=(on_error == "raise"))
-
-    # Stage 3 (parent): deterministic merge, in spec order.  Reports are
-    # rebound onto the parent's dense baseline object (worker copies of it
-    # are dropped), preserving the shared-baseline identity invariant.
-    for shard in shard_results:
-        if shard.ok:
-            report: CompressionReport = shard.value
-            report.dense = dense
-            report.dense_hardware = dense.hardware
-            result.reports.append(report)
-            continue
-        if on_error == "raise":
-            raise shard.error
-        # Drop the traceback before recording: its frames pin the failed
-        # shard's deep-copied model and loaders for the lifetime of the
-        # SweepResult (error_type/message carry the report-facing data).
-        shard.error.__traceback__ = None
-        result.failures.append(SweepFailure(
-            index=shard.index,
-            spec=specs[shard.index],
-            error_type=type(shard.error).__name__,
-            message=str(shard.error),
-            exception=shard.error,
-        ))
-    return result
-
-
-def _capture_engine_state() -> Optional[EngineState]:
-    """Capture the sweep's engine state, or ``None`` for unregistered backends.
-
-    ``None`` makes each shard run under the caller's ambient state — only
-    valid for inline (serial) executors, which run in the same thread;
-    ``run_sweep`` rejects parallel executors in that case rather than
-    silently running shards under the process-default backend.
-    """
-    try:
-        return EngineState.capture()
-    except KeyError:
-        return None
-
-
-def _dense_accuracy(base_model: Module, loaders, specs) -> float:
-    """Accuracy of the dense reference under the sweep's training budget.
-
-    When the specs request training, the compressed models are trained
-    before evaluation — so the dense row is trained for the same number of
-    epochs (on a copy) to keep the comparison meaningful.
-    """
-    from ..core import ClassifierTrainer
-    from .adapters import evaluate_accuracy
-
-    epochs = max((spec.epochs for spec in specs), default=0)
-    probe = copy.deepcopy(base_model)
-    if specs[0].dtype is not None or specs[0].backend is not None:
-        probe.astype(get_default_dtype())
-    if epochs > 0 and loaders[0] is not None:
-        ClassifierTrainer(probe, lr=specs[0].lr).fit(
-            loaders[0], loaders[1], epochs=epochs)
-    return evaluate_accuracy(probe, loaders[1])
+    session = SweepSession(model=model, data=data, hardware=hardware,
+                           input_shape=input_shape, dtype=dtype,
+                           backend=backend, seed=seed, executor=executor,
+                           max_workers=max_workers)
+    with session:
+        session.submit_all(specs, fail_fast=(on_error == "raise"))
+        return session.result(on_error=on_error)

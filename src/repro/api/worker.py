@@ -1,0 +1,16 @@
+"""``python -m repro.api.worker`` — a ``repro-job/1`` worker over stdio.
+
+Reads one JSON job per line from stdin, writes one ``repro-job-result/1``
+line to stdout (see :mod:`repro.api.jobs` for the protocol).  This is the
+subprocess half of :class:`repro.api.jobs.RemoteExecutor`, and the exact
+program an ssh / job-queue transport would start on an off-host worker.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .jobs import worker_main
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

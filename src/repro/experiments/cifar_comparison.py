@@ -20,7 +20,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..api import ALFSpec, AMCSpec, CompressionSpec, FPGMSpec, compress, run_sweep
+from ..api import (
+    ALFSpec,
+    AMCSpec,
+    CompressionSpec,
+    FPGMSpec,
+    SweepSession,
+    compress,
+    print_progress,
+)
 from ..api.sweep import ALF_TABLE2_STAGE_REMAINING
 from ..core import ALFConfig
 from ..metrics import MethodResult, pareto_front, profile_model
@@ -169,21 +177,30 @@ def _table2_cost_sweep(seed: int = 0,
                        alf_remaining_fraction: Optional[float] = None,
                        workers: Optional[int] = None,
                        executor: Optional[str] = None,
-                       profile: bool = False):
+                       profile: bool = False,
+                       stream: bool = False):
     specs = table2_cost_specs(seed=seed,
                               alf_remaining_fraction=alf_remaining_fraction)
     if profile:
         specs = [spec.with_overrides(profile=True) for spec in specs]
-    return run_sweep(
-        specs, model="resnet20", hardware=None, input_shape=CIFAR_INPUT,
-        seed=seed, executor=executor, max_workers=workers)
+    # Submitted through a SweepSession so progress can stream per method;
+    # the spec-ordered result is identical to the batch run_sweep call.
+    with SweepSession(model="resnet20", hardware=None,
+                      input_shape=CIFAR_INPUT, seed=seed,
+                      executor=executor, max_workers=workers) as session:
+        if stream:
+            session.add_progress_callback(
+                print_progress("table2", total=len(specs)))
+        session.submit_all(specs, fail_fast=True)
+        return session.result()
 
 
 def table2_costs(seed: int = 0,
                  alf_remaining_fraction: Optional[float] = None,
                  workers: Optional[int] = None,
                  executor: Optional[str] = None,
-                 profile: bool = False) -> Dict[str, Dict[str, float]]:
+                 profile: bool = False,
+                 stream: bool = False) -> Dict[str, Dict[str, float]]:
     """Cost columns of the compressed Table II rows, via one (sharded) sweep.
 
     The three method evaluations share a single dense ResNet-20 and run in
@@ -192,11 +209,13 @@ def table2_costs(seed: int = 0,
     per-method runs.  ``profile=True`` adds a ``"seconds"`` entry per
     method: the measured wall-clock of one profiled inference batch of the
     compressed model (collected inside the shard that ran the spec).
+    ``stream=True`` prints one progress line per scheduling milestone as
+    shard results stream back from the session.
     """
     sweep = _table2_cost_sweep(seed=seed,
                                alf_remaining_fraction=alf_remaining_fraction,
                                workers=workers, executor=executor,
-                               profile=profile)
+                               profile=profile, stream=stream)
     costs = {}
     for report in sweep.reports:
         entry = {"params": report.cost["params"], "ops": report.cost["ops"]}
@@ -285,7 +304,8 @@ def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
         alf_remaining_fraction: Optional[float] = None,
         workers: Optional[int] = None,
         executor: Optional[str] = None,
-        profile: bool = False) -> Table2Result:
+        profile: bool = False,
+        stream: bool = False) -> Table2Result:
     """Regenerate Table II (cost columns exact, accuracy from proxy runs).
 
     ``workers`` / ``executor`` shard the per-method cost evaluations across
@@ -293,7 +313,8 @@ def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
     is identical to the serial default.  ``profile=True`` adds a measured
     ``t [ms]`` column — one layer-scoped profiled inference batch per row,
     next to the analytical OPs — and keeps the full per-layer profiles on
-    ``Table2Result.profiles``.
+    ``Table2Result.profiles``.  ``stream=True`` prints per-method progress
+    lines while the cost sweep's shard results stream in.
     """
     plain_model = plain20(rng=np.random.default_rng(seed))
     resnet_model = resnet20(rng=np.random.default_rng(seed))
@@ -302,7 +323,7 @@ def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
     sweep = _table2_cost_sweep(seed=seed,
                                alf_remaining_fraction=alf_remaining_fraction,
                                workers=workers, executor=executor,
-                               profile=profile)
+                               profile=profile, stream=stream)
     costs = {report.method: report.cost for report in sweep.reports}
     amc, fpgm, alf = costs["amc"], costs["fpgm"], costs["alf"]
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..api import ALFSpec, CompressionSpec, run_sweep
+from ..api import ALFSpec, CompressionSpec, SweepSession, print_progress
 from ..hardware import EyerissSpec, EYERISS_PAPER, NetworkReport
 from ..metrics.tables import render_table
 from ..models import build_model
@@ -135,17 +135,18 @@ def run(architecture: str = "plain20", batch: int = 16,
         spec: Optional[EyerissSpec] = None, seed: int = 0,
         workers: Optional[int] = None,
         executor: Optional[str] = None,
-        profile: bool = False) -> Fig3Result:
+        profile: bool = False,
+        stream: bool = False) -> Fig3Result:
     """Evaluate vanilla vs. ALF-compressed execution on the Eyeriss model.
 
-    One single-spec :func:`repro.api.run_sweep` call supplies both sides:
-    the sweep's dense stage evaluates the vanilla network and the shard's
-    hardware stage evaluates the ALF-compressed execution — so the
-    evaluation honours the sweep executor selection (``workers`` /
-    ``executor`` arguments or ``REPRO_SWEEP_EXECUTOR``).  Layer labels
-    follow the paper's CONV1..CONV432 naming; CONV1 (the stem) keeps a
-    dense convolution, so the forced per-layer fractions apply from
-    CONV211 on.
+    One single-spec sweep session supplies both sides: the session's dense
+    stage evaluates the vanilla network and the shard's hardware stage
+    evaluates the ALF-compressed execution — so the evaluation honours the
+    sweep executor selection (``workers`` / ``executor`` arguments or
+    ``REPRO_SWEEP_EXECUTOR``), and ``stream=True`` prints the session's
+    scheduling milestones as they happen.  Layer labels follow the paper's
+    CONV1..CONV432 naming; CONV1 (the stem) keeps a dense convolution, so
+    the forced per-layer fractions apply from CONV211 on.
 
     ``profile=True`` additionally measures one inference batch of each
     execution with the layer-scoped op profiler: the per-conv wall-clock
@@ -162,14 +163,17 @@ def run(architecture: str = "plain20", batch: int = 16,
         layer_labels=names[1:],  # skip CONV1 (the stem keeps a dense conv)
         deploy=False,
     )
-    sweep = run_sweep(
-        [CompressionSpec(method="alf", config=config, hardware_batch=batch,
-                         layer_names=names, seed=seed, profile=profile,
-                         label=f"ALF-{architecture}")],
-        model=architecture, hardware=spec or EYERISS_PAPER,
-        input_shape=CIFAR_INPUT, seed=seed,
-        executor=executor, max_workers=workers,
-    )
+    alf_spec = CompressionSpec(method="alf", config=config,
+                               hardware_batch=batch, layer_names=names,
+                               seed=seed, profile=profile,
+                               label=f"ALF-{architecture}")
+    with SweepSession(model=architecture, hardware=spec or EYERISS_PAPER,
+                      input_shape=CIFAR_INPUT, seed=seed,
+                      executor=executor, max_workers=workers) as session:
+        if stream:
+            session.add_progress_callback(print_progress("fig3", total=1))
+        session.submit(alf_spec)
+        sweep = session.result()
     report = sweep.reports[0]
     vanilla_report = report.dense_hardware
     alf_report = report.compressed_hardware

@@ -37,6 +37,8 @@ from .tensor import Tensor, add_op_hook, no_grad, remove_op_hook
 
 #: Wire-format identifier of :meth:`OpProfile.to_dict` payloads.
 PROFILE_SCHEMA = "repro-op-profile/1"
+#: Wire-format identifier of :meth:`RunProfile.to_dict` payloads.
+RUN_PROFILE_SCHEMA = "repro-run-profile/1"
 
 
 @dataclass
@@ -158,7 +160,9 @@ class OpProfile:
     def from_dict(cls, payload: Mapping[str, Any]) -> "OpProfile":
         schema = payload.get("schema")
         if schema != PROFILE_SCHEMA:
-            raise ValueError(f"unsupported op-profile schema: {schema!r}")
+            raise ValueError(
+                f"unsupported op-profile schema {schema!r}: expected "
+                f"'{PROFILE_SCHEMA}'")
         profile = cls()
         for op, stat in payload.get("ops", {}).items():
             profile.ops[op] = OpStat(int(stat["calls"]), float(stat["seconds"]))
@@ -244,12 +248,26 @@ class RunProfile:
 
     # -- wire format ------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        return {name: (None if getattr(self, name) is None
-                       else getattr(self, name).to_dict())
-                for name in ("dense", "train", "eval")}
+        payload: Dict[str, Any] = {"schema": RUN_PROFILE_SCHEMA}
+        payload.update({name: (None if getattr(self, name) is None
+                               else getattr(self, name).to_dict())
+                        for name in ("dense", "train", "eval")})
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunProfile":
+        """Rebuild from :meth:`to_dict` output.
+
+        A payload tagged with a different wire-format version is rejected
+        (untagged pre-tag payloads are accepted for backward
+        compatibility) — a future ``repro-run-profile/2`` must fail loudly
+        instead of being misparsed.
+        """
+        schema = payload.get("schema", RUN_PROFILE_SCHEMA)
+        if schema != RUN_PROFILE_SCHEMA:
+            raise ValueError(
+                f"unsupported run-profile schema {schema!r}: expected "
+                f"'{RUN_PROFILE_SCHEMA}'")
         kwargs = {}
         for name in ("dense", "train", "eval"):
             phase = payload.get(name)
