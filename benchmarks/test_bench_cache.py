@@ -1,0 +1,106 @@
+"""Benchmark — result cache: replay and warm-start payoff.
+
+The cache exists to make repeated sweep submissions cheap; this benchmark
+measures both layers of that claim:
+
+* ``cache_hit_speedup`` — a three-method cost-only sweep run cold and then
+  replayed from a populated :class:`FileReportCache`: the hit path skips
+  every per-spec prune/finalize/hardware stage and pays only entry
+  validation, so the replay must be decisively faster;
+* ``warm_start_speedup`` — a trained near-miss spec (same method / model /
+  data, different pruning ratio) run cold and then warm-started from the
+  nearest cached checkpoint: the warm run skips the from-dense pre-train
+  epochs and keeps only fine-tuning, so it must beat the cold run while
+  producing a normally-shaped report.
+
+Both speedups (plus the raw second counts and the store's content stats)
+land in ``BENCH_engine.json`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro.api as api
+from repro.data import make_synthetic_dataset
+
+from conftest import record_metric, run_once
+
+INPUT_SHAPE = (1, 16, 16)
+HIT_METHODS = ["magnitude", "fpgm", "lowrank"]
+PRETRAIN_EPOCHS = 4
+
+
+def _hit_specs():
+    return [api.CompressionSpec(method=method, input_shape=INPUT_SHAPE)
+            for method in HIT_METHODS]
+
+
+def _trained_spec(ratio: float) -> api.CompressionSpec:
+    return api.CompressionSpec(
+        method="magnitude", config=api.MagnitudeSpec(prune_ratio=ratio),
+        epochs=PRETRAIN_EPOCHS, finetune_epochs=1, input_shape=INPUT_SHAPE)
+
+
+def _timed_sweep(cache, **kwargs):
+    start = time.perf_counter()
+    sweep = api.run_sweep(cache=cache, **kwargs)
+    return sweep, time.perf_counter() - start
+
+
+def test_bench_cache_replay_and_warm_start(benchmark, tmp_path):
+    store = api.FileReportCache(tmp_path / "cache")
+    cost_kwargs = dict(specs=_hit_specs(), model="lenet",
+                       hardware=api.EYERISS_PAPER, input_shape=INPUT_SHAPE)
+
+    cold_sweep, cold_seconds = _timed_sweep(store, **cost_kwargs)
+    # The replay carries the pedantic benchmark timing so the JSON
+    # wall_clock_seconds entry is the cache-hit path itself.
+    run_once(benchmark, lambda: api.run_sweep(cache=store, **cost_kwargs))
+    hit_sweep, hit_seconds = _timed_sweep(store, **cost_kwargs)
+    hit_speedup = cold_seconds / hit_seconds
+
+    dataset = make_synthetic_dataset(80, num_classes=4,
+                                     image_shape=INPUT_SHAPE, seed=0)
+    train_kwargs = dict(model="lenet", data=dataset, hardware=None,
+                        input_shape=INPUT_SHAPE)
+    # Populate one trained entry (+ checkpoint), then compare the same
+    # near-miss spec cold (no cache) vs warm-started from that checkpoint.
+    api.run_sweep([_trained_spec(0.3)], cache=store, **train_kwargs)
+    _, cold_near_seconds = _timed_sweep(None, specs=[_trained_spec(0.5)],
+                                        **train_kwargs)
+    warm_sweep, warm_seconds = _timed_sweep((store, "read"),
+                                            specs=[_trained_spec(0.5)],
+                                            **train_kwargs)
+    warm_speedup = cold_near_seconds / warm_seconds
+
+    stats = store.stats()
+    record_metric("cold_seconds", round(cold_seconds, 4))
+    record_metric("hit_seconds", round(hit_seconds, 4))
+    record_metric("cache_hit_speedup", round(hit_speedup, 3))
+    record_metric("cold_near_miss_seconds", round(cold_near_seconds, 4))
+    record_metric("warm_start_seconds", round(warm_seconds, 4))
+    record_metric("warm_start_speedup", round(warm_speedup, 3))
+    record_metric("store_entries", stats.entries)
+    record_metric("store_checkpoints", stats.checkpoints)
+    record_metric("store_bytes", stats.total_bytes)
+
+    print(f"\nresult cache ({len(HIT_METHODS)} cost-only specs):")
+    print(f"  cold sweep : {cold_seconds:.3f}s")
+    print(f"  cache hit  : {hit_seconds:.3f}s  ({hit_speedup:.1f}x)")
+    print(f"warm start (magnitude, {PRETRAIN_EPOCHS} pre-train epochs "
+          f"+ 1 fine-tune):")
+    print(f"  cold near-miss : {cold_near_seconds:.3f}s")
+    print(f"  warm-started   : {warm_seconds:.3f}s  ({warm_speedup:.2f}x)")
+    print(f"store: {stats.entries} entries, {stats.checkpoints} checkpoints, "
+          f"{stats.total_bytes / 1024:.0f} KiB")
+
+    # The replay must be bit-identical and decisively faster; the warm
+    # start must beat the cold path while still producing a full report.
+    assert [r.to_dict() for r in hit_sweep.reports] == \
+        [r.to_dict() for r in cold_sweep.reports]
+    assert hit_speedup >= 1.5, (
+        f"cache replay only reached {hit_speedup:.2f}x over recomputation")
+    assert warm_speedup >= 1.1, (
+        f"warm start only reached {warm_speedup:.2f}x over cold near-miss")
+    assert warm_sweep.reports[0].accuracy is not None

@@ -30,13 +30,19 @@ def main():
     parser.add_argument("--stream", action="store_true",
                         help="submit through a SweepSession and print each "
                              "method's progress as shard results stream back")
+    parser.add_argument("--cache", default=None,
+                        choices=api.CACHE_POLICIES,
+                        help="result cache policy against the default store "
+                             "(REPRO_CACHE_DIR): a second run with "
+                             "--cache readwrite replays instantly")
     args = parser.parse_args()
 
     hardware = None if args.no_hardware else api.EYERISS_PAPER
     specs = api.table2_specs()
     with api.SweepSession(model="resnet20", hardware=hardware,
                           executor=args.executor,
-                          max_workers=args.workers) as session:
+                          max_workers=args.workers,
+                          cache=args.cache) as session:
         if args.stream:
             session.add_progress_callback(
                 api.print_progress("sweep", total=len(specs)))

@@ -28,6 +28,10 @@ def main():
     parser.add_argument("--stream", action="store_true",
                         help="print per-method progress while the cost "
                              "sweep's shard results stream in")
+    parser.add_argument("--cache", default=None,
+                        choices=["off", "read", "write", "readwrite"],
+                        help="result cache policy for the cost-column sweep "
+                             "(store: REPRO_CACHE_DIR or the default dir)")
     args = parser.parse_args()
 
     print("=" * 72)
@@ -36,7 +40,7 @@ def main():
     result = cifar_comparison.run(scale=args.scale,
                                   measure_accuracy=not args.skip_accuracy,
                                   workers=args.workers, executor=args.executor,
-                                  stream=args.stream)
+                                  stream=args.stream, cache=args.cache)
     print(result.render())
 
     reductions = cifar_comparison.headline_reductions(result)

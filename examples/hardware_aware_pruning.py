@@ -34,6 +34,10 @@ def main():
     parser.add_argument("--stream", action="store_true",
                         help="print the sweep session's scheduling "
                              "milestones while the evaluation runs")
+    parser.add_argument("--cache", default=None,
+                        choices=["off", "read", "write", "readwrite"],
+                        help="result cache policy for the ALF evaluation "
+                             "(store: REPRO_CACHE_DIR or the default dir)")
     args = parser.parse_args()
 
     spec = EYERISS_PAPER
@@ -45,7 +49,8 @@ def main():
     result = hardware_breakdown.run(architecture=args.arch, batch=args.batch,
                                     remaining_fraction=args.remaining,
                                     workers=args.workers, executor=args.executor,
-                                    profile=args.profile, stream=args.stream)
+                                    profile=args.profile, stream=args.stream,
+                                    cache=args.cache)
     print()
     header = (f"{'Layer':>9} | {'vanilla energy':>16} | {'ALF energy':>12} | "
               f"{'vanilla latency':>15} | {'ALF latency':>12}")

@@ -45,6 +45,14 @@ Public surface
 :func:`available_methods` / :func:`get_method` / :func:`register_method`
     The string-keyed method registry (``"alf"``, ``"magnitude"``,
     ``"fpgm"``, ``"amc"``, ``"lcnn"``, ``"lowrank"``).
+:class:`ReportCache` / :class:`FileReportCache` / :class:`MemoryReportCache`
+    The content-addressed result cache + checkpoint store
+    (``repro-cache-entry/1``): sessions consult it through the ``cache=``
+    policy knob (``"off"`` / ``"read"`` / ``"write"`` / ``"readwrite"``),
+    replay stored reports bit-identically, and warm-start near-miss
+    fine-tuning from the nearest stored checkpoint.  Keys combine
+    :meth:`CompressionSpec.digest`, :func:`model_digest` and
+    :func:`data_digest`; maintenance via ``python -m repro.api.cache``.
 :class:`RunProfile` / :class:`OpProfile`
     Layer-scoped op profiling: ``compress(..., profile=True)`` (or
     ``CompressionSpec(profile=True)`` in a sweep) attaches per-op /
@@ -67,6 +75,30 @@ from .adapters import (
     MagnitudeMethod,
     evaluate_accuracy,
     pruned_conv_shapes,
+)
+from .cache import (
+    CACHE_ENTRY_SCHEMA,
+    CACHE_ENV_VAR,
+    CACHE_POLICIES,
+    CacheIntegrityWarning,
+    CacheKey,
+    CacheStats,
+    FileReportCache,
+    MemoryReportCache,
+    ReportCache,
+    WarmStart,
+    cache_key,
+    default_cache,
+    default_cache_dir,
+    resolve_cache,
+    spec_distance,
+)
+from .digests import (
+    canonical_json,
+    data_digest,
+    model_digest,
+    payload_digest,
+    state_digest,
 )
 from .executor import (
     EXECUTOR_ENV_VAR,
@@ -153,6 +185,13 @@ __all__ = [
     "SweepJob", "RemoteExecutor", "RemoteJobError", "RemoteWorkerError",
     "LoaderPlan", "execute_job", "worker_main",
     "JOB_SCHEMA", "JOB_RESULT_SCHEMA", "FAILURE_SCHEMA",
+    # result cache + digests
+    "ReportCache", "FileReportCache", "MemoryReportCache", "CacheKey",
+    "CacheStats", "WarmStart", "CacheIntegrityWarning", "cache_key",
+    "default_cache", "default_cache_dir", "resolve_cache", "spec_distance",
+    "CACHE_ENTRY_SCHEMA", "CACHE_ENV_VAR", "CACHE_POLICIES",
+    "canonical_json", "payload_digest", "model_digest", "data_digest",
+    "state_digest",
     # executors
     "SweepExecutor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
     "ShardPool", "ShardResult", "EngineState", "register_executor",

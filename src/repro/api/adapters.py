@@ -71,6 +71,34 @@ def pruned_conv_shapes(model: Module, plan: PruningPlan,
     return out
 
 
+def _load_matching_state(model: Module, state) -> bool:
+    """Load a checkpoint into ``model`` iff it matches *exactly*.
+
+    Stricter than :meth:`Module.load_state_dict` (which skips unknown and
+    missing keys): the checkpoint's parameter names must equal the model's
+    and every shape must agree, otherwise nothing is touched and ``False``
+    is returned.  A warm start seeded from a partially-matching checkpoint
+    would silently mix trained and untrained layers — worse than the cold
+    path it replaces.  Buffers (e.g. BatchNorm statistics) load when
+    present.  Arrays are cast to each parameter's dtype so a checkpoint
+    never changes the run's compute dtype.
+    """
+    params = dict(model.named_parameters())
+    state_params = {key for key in state if not key.startswith("buffer:")}
+    if state_params != set(params):
+        return False
+    for name, param in params.items():
+        if tuple(param.data.shape) != tuple(np.shape(state[name])):
+            return False
+    for name, param in params.items():
+        param.data = np.asarray(state[name], dtype=param.data.dtype).copy()
+    for name, buf in model.named_buffers():
+        key = f"buffer:{name}"
+        if key in state and tuple(buf.shape) == tuple(np.shape(state[key])):
+            buf[...] = state[key]
+    return True
+
+
 class CompressionAdapter:
     """Shared state management for the concrete adapters."""
 
@@ -82,6 +110,10 @@ class CompressionAdapter:
         self.spec = spec
         self.model: Optional[Module] = None
         self.history = None
+        #: True once a cached checkpoint seeded the prepared model; the
+        #: concrete adapters use it to skip the from-dense (pre-)training
+        #: the checkpoint already paid for.
+        self.warm = False
 
     # -- CompressionMethod interface ----------------------------------- #
     def prepare(self, model: Module) -> Module:
@@ -90,6 +122,18 @@ class CompressionAdapter:
 
     def fit(self, train_loader=None, val_loader=None, epochs: int = 0):
         return None
+
+    def warm_start(self, state) -> bool:
+        """Seed the prepared model from a cached checkpoint, strictly.
+
+        Returns ``True`` (and flags the run as warm) only when the state
+        matches the prepared model exactly — a checkpoint taken from a
+        differently-shaped finalization (e.g. a deployed ALF model against
+        a freshly-converted one) is rejected and the run stays cold.
+        """
+        if _load_matching_state(self._require_model(), state):
+            self.warm = True
+        return self.warm
 
     def finalize(self) -> CompressedModel:
         raise NotImplementedError
@@ -131,6 +175,12 @@ class ALFMethod(CompressionAdapter):
 
     def fit(self, train_loader=None, val_loader=None, epochs: int = 0):
         if train_loader is None or epochs <= 0:
+            return None
+        if self.warm:
+            # The checkpoint already carries the two-player-trained weights
+            # and pruning masks; re-running ALFTrainer would retrain them
+            # and forcing masks in finalize() would erase them.
+            self._trained = True
             return None
         self.trainer = ALFTrainer(self._require_model(), self.config.alf)
         self.history = self.trainer.fit(train_loader, val_loader, epochs=epochs)
@@ -215,7 +265,10 @@ class _FilterPruningAdapter(CompressionAdapter):
         if train_loader is None or epochs <= 0:
             return None
         trainer = ClassifierTrainer(model, lr=self.spec.lr)
-        trainer.fit(train_loader, val_loader, epochs=epochs)
+        if not self.warm:
+            # A warm start already holds the trained dense weights; the
+            # pruning plan and fine-tune loop below still run in full.
+            trainer.fit(train_loader, val_loader, epochs=epochs)
         self._ensure_plan()
         # Fine-tune with the masks re-applied after every epoch: plain SGD
         # gradients would otherwise regrow the zeroed filters, leaving the
@@ -310,7 +363,7 @@ class LCNNMethod(CompressionAdapter):
     def fit(self, train_loader=None, val_loader=None, epochs: int = 0):
         # The dictionaries are learned from the weights; training here is the
         # optional classifier pre-training that gives them something to share.
-        if train_loader is None or epochs <= 0:
+        if train_loader is None or epochs <= 0 or self.warm:
             return None
         trainer = ClassifierTrainer(self._require_model(), lr=self.spec.lr)
         self.history = trainer.fit(train_loader, val_loader, epochs=epochs)
@@ -375,7 +428,7 @@ class LowRankMethod(CompressionAdapter):
         self.result = None
 
     def fit(self, train_loader=None, val_loader=None, epochs: int = 0):
-        if train_loader is None or epochs <= 0:
+        if train_loader is None or epochs <= 0 or self.warm:
             return None
         trainer = ClassifierTrainer(self._require_model(), lr=self.spec.lr)
         self.history = trainer.fit(train_loader, val_loader, epochs=epochs)

@@ -1,0 +1,100 @@
+"""Content digests shared by the wire protocol and the result cache.
+
+Everything a sweep computes is a deterministic function of (spec, model,
+data recipe, engine state), so SHA-256 over *canonical* encodings of those
+inputs is a sound content address:
+
+* :func:`canonical_json` / :func:`payload_digest` — the one canonical JSON
+  form (sorted keys, no whitespace) every digest in the repository hashes.
+  ``repro-job/1`` guards its dense baseline with it
+  (:func:`repro.api.jobs.dense_digest` delegates here) and
+  :meth:`CompressionSpec.digest() <repro.api.CompressionSpec.digest>` keys
+  the report cache with it.
+* :func:`model_digest` — a parameter-byte hash of a built
+  :class:`~repro.nn.module.Module`: every named parameter and buffer
+  contributes its name, dtype, shape and raw little-endian bytes, sorted by
+  name so the digest is independent of registration order.
+* :func:`data_digest` — a hash of a
+  :class:`~repro.api.jobs.LoaderPlan`'s JSON recipe (the same base64-npy
+  encoding ``repro-job/1`` ships to workers).  Plans wrapping live user
+  loaders have no canonical encoding and digest to ``None`` — submissions
+  over them are uncacheable.
+
+The module is dependency-light on purpose (no imports from the rest of
+``repro.api``), so every layer — jobs, cache, session — can share it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+
+def canonical_json(payload: Any) -> str:
+    """The one canonical JSON encoding: sorted keys, compact separators.
+
+    Two payloads that differ only in dict key order (or in the insertion
+    order of config fields) encode — and therefore digest — identically.
+    The payload is normalized through one JSON round trip first, so
+    non-string mapping keys (e.g. ``ALFSpec.stage_remaining``'s integer
+    filter counts) digest identically before and after a trip over the
+    wire: keys sort by their JSON *string* form on both sides.
+    """
+    normalized = json.loads(json.dumps(payload, separators=(",", ":")))
+    return json.dumps(normalized, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload: Any) -> str:
+    """SHA-256 hex digest over the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def model_digest(model) -> str:
+    """SHA-256 over a module tree's parameter and buffer bytes.
+
+    The hash covers, for every named parameter and buffer in *name-sorted*
+    order: the name, the dtype, the shape, and the raw array bytes — so two
+    models digest equally iff they would behave bit-identically, regardless
+    of the traversal order their modules were registered in.
+    """
+    hasher = hashlib.sha256()
+    entries = list(model.named_parameters())
+    entries += [(f"buffer:{name}", buf) for name, buf in model.named_buffers()]
+    for name, value in sorted(entries, key=lambda item: item[0]):
+        array = np.ascontiguousarray(
+            value.data if hasattr(value, "data") else value)
+        hasher.update(name.encode("utf-8"))
+        hasher.update(str(array.dtype).encode("ascii"))
+        hasher.update(repr(array.shape).encode("ascii"))
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def data_digest(plan) -> Optional[str]:
+    """SHA-256 over a loader plan's JSON recipe, or ``None`` when it has none.
+
+    ``None`` (for plans wrapping live user ``DataLoader`` objects) marks the
+    submission as uncacheable: without a canonical encoding of the data there
+    is no sound cache key.
+    """
+    try:
+        payload = plan.to_payload()
+    except TypeError:
+        return None
+    return payload_digest(payload)
+
+
+def state_digest(state: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over a ``state_dict``-shaped mapping of named arrays."""
+    hasher = hashlib.sha256()
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        hasher.update(name.encode("utf-8"))
+        hasher.update(str(array.dtype).encode("ascii"))
+        hasher.update(repr(array.shape).encode("ascii"))
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()

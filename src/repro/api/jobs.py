@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import base64
 import copy
-import hashlib
 import io
 import json
 import os
@@ -44,6 +43,7 @@ import numpy as np
 from ..data import DataLoader, SyntheticImageDataset
 from ..hardware import EnergyTable, EyerissSpec
 from ..models import build_model
+from .digests import payload_digest
 from .executor import (
     EngineState,
     ShardPool,
@@ -205,17 +205,34 @@ def engine_from_payload(payload: Optional[Mapping[str, Any]]
         grad_override=payload.get("grad_override"))
 
 
+def state_to_payload(state: Optional[Mapping[str, np.ndarray]]
+                     ) -> Optional[Dict[str, Any]]:
+    """Encode a module state dict (name → ndarray) for the JSON wire."""
+    if state is None:
+        return None
+    return {name: array_to_payload(np.asarray(array))
+            for name, array in state.items()}
+
+
+def state_from_payload(payload: Optional[Mapping[str, Any]]
+                       ) -> Optional[Dict[str, np.ndarray]]:
+    if payload is None:
+        return None
+    return {name: array_from_payload(entry)
+            for name, entry in payload.items()}
+
+
 def dense_digest(dense_payload: Mapping[str, Any]) -> str:
     """SHA-256 over the canonical JSON form of a dense-baseline payload.
 
     Jobs carry the digest next to the payload so a worker can prove the
     broadcast baseline survived the transport intact — a shard evaluated
     against a corrupted (or wrong sweep's) baseline would silently produce
-    incomparable reductions.
+    incomparable reductions.  Delegates to the shared
+    :func:`repro.api.digests.payload_digest` canonical encoding, the same
+    one the report cache keys on.
     """
-    canonical = json.dumps(dense_payload, sort_keys=True,
-                           separators=(",", ":")).encode("utf-8")
-    return hashlib.sha256(canonical).hexdigest()
+    return payload_digest(dense_payload)
 
 
 # --------------------------------------------------------------------------- #
@@ -241,6 +258,9 @@ class SweepJob:
     hardware: Optional[EyerissSpec] = None
     data: LoaderPlan = field(default_factory=lambda: LoaderPlan(kind="none"))
     job_id: int = 0
+    #: Optional warm-start checkpoint (name → ndarray) seeding fine-tuning
+    #: from a cached near-miss run; ``None`` runs the cold path.
+    warm: Optional[Dict[str, np.ndarray]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """The JSON-safe ``repro-job/1`` payload (round-trips exactly)."""
@@ -256,6 +276,7 @@ class SweepJob:
             "engine": engine_to_payload(self.engine),
             "hardware": hardware_to_payload(self.hardware),
             "data": self.data.to_payload(),
+            "warm": state_to_payload(self.warm),
         }
 
     @classmethod
@@ -282,6 +303,7 @@ class SweepJob:
             hardware=hardware_from_payload(payload.get("hardware")),
             data=LoaderPlan.from_payload(payload.get("data")),
             job_id=int(payload.get("job_id", 0)),
+            warm=state_from_payload(payload.get("warm")),
         )
 
 
@@ -299,7 +321,8 @@ def execute_job(job: SweepJob) -> CompressionReport:
         model = build_model(job.model, rng=np.random.default_rng(job.seed))
         pipeline = CompressionPipeline(job.spec, hardware=job.hardware)
         return pipeline.run(model=model, data=job.data.make(),
-                            dense=job.dense, inplace=True)
+                            dense=job.dense, inplace=True,
+                            warm_start=job.warm)
 
 
 # --------------------------------------------------------------------------- #

@@ -41,30 +41,38 @@ REPORT_SCHEMA = "repro-report/1"
 
 @dataclass
 class HardwareTotals:
-    """Wire-format stand-in for a :class:`NetworkReport`: table-level totals.
+    """Legacy wire-format stand-in for a :class:`NetworkReport`.
 
-    Reconstructed reports only need the network-level energy / latency to
-    compute reductions and render tables; the per-layer breakdown does not
-    travel through the dict wire format.
+    Early ``repro-report/1`` payloads carried only the network-level
+    energy / latency totals; reports rebuilt from such payloads get this
+    stand-in, which supports exactly the reduction / table computations.
+    Current payloads ship the full per-layer breakdown and rebuild a real
+    :class:`NetworkReport` (see :func:`_hardware_report_from_dict`), so
+    cached replays and remote results keep the Fig. 3 style per-layer
+    energy / latency views.
     """
 
     total_energy: float
     total_latency: float
 
 
-def _hardware_totals_to_dict(report) -> Optional[Dict[str, float]]:
+def _hardware_report_to_dict(report) -> Optional[Dict[str, Any]]:
     if report is None:
         return None
-    return {"total_energy": float(report.total_energy),
-            "total_latency": float(report.total_latency)}
+    payload: Dict[str, Any] = {"total_energy": float(report.total_energy),
+                               "total_latency": float(report.total_latency)}
+    if isinstance(report, NetworkReport):
+        payload.update(report.to_dict())
+    return payload
 
 
-def _hardware_totals_from_dict(payload: Optional[Dict[str, float]]
-                               ) -> Optional[HardwareTotals]:
+def _hardware_report_from_dict(payload: Optional[Dict[str, Any]]):
     if payload is None:
         return None
-    return HardwareTotals(total_energy=float(payload["total_energy"]),
-                          total_latency=float(payload["total_latency"]))
+    if "layers" not in payload:  # legacy totals-only payload
+        return HardwareTotals(total_energy=float(payload["total_energy"]),
+                              total_latency=float(payload["total_latency"]))
+    return NetworkReport.from_dict(payload)
 
 
 @dataclass
@@ -87,7 +95,7 @@ class DenseBaseline:
         return {
             "cost": {k: float(v) for k, v in self.cost.items()},
             "accuracy": None if self.accuracy is None else float(self.accuracy),
-            "hardware": _hardware_totals_to_dict(self.hardware),
+            "hardware": _hardware_report_to_dict(self.hardware),
         }
 
     @classmethod
@@ -95,7 +103,7 @@ class DenseBaseline:
         return cls(
             profile=None,  # type: ignore[arg-type]  # dropped by the wire format
             cost=dict(payload["cost"]),
-            hardware=_hardware_totals_from_dict(payload.get("hardware")),
+            hardware=_hardware_report_from_dict(payload.get("hardware")),
             accuracy=payload.get("accuracy"),
         )
 
@@ -199,13 +207,13 @@ class CompressionReport:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe dict carrying every *table-level* quantity.
 
-        This is the guaranteed wire format for process shards and future
-        distributed runners: spec, costs, accuracy, remaining-filter
-        fraction, per-layer hardware workloads, the network-level
-        energy / latency totals and the layer-scoped op profile (when
-        ``spec.profile`` was set) all round-trip through
+        This is the guaranteed wire format for process shards, remote
+        workers and the result cache: spec, costs, accuracy,
+        remaining-filter fraction, per-layer hardware workloads, the full
+        per-layer energy / latency breakdowns and the layer-scoped op
+        profile (when ``spec.profile`` was set) all round-trip through
         :meth:`from_dict`.  The live model, the training history and the
-        per-layer hardware breakdown are intentionally dropped — ship the
+        mapper's tiling internals are intentionally dropped — ship the
         pickle form when those must travel too.
         """
         from dataclasses import asdict
@@ -224,9 +232,9 @@ class CompressionReport:
                 for shape in self.compressed.layer_shapes
             ],
             "accuracy": None if self.accuracy is None else float(self.accuracy),
-            "dense_hardware": _hardware_totals_to_dict(self.dense_hardware),
+            "dense_hardware": _hardware_report_to_dict(self.dense_hardware),
             "compressed_hardware":
-                _hardware_totals_to_dict(self.compressed_hardware),
+                _hardware_report_to_dict(self.compressed_hardware),
             "profile": None if self.profile is None else self.profile.to_dict(),
         }
 
@@ -258,9 +266,9 @@ class CompressionReport:
             dense=DenseBaseline.from_dict(payload["dense"]),
             compressed=compressed,
             accuracy=payload.get("accuracy"),
-            dense_hardware=_hardware_totals_from_dict(
+            dense_hardware=_hardware_report_from_dict(
                 payload.get("dense_hardware")),
-            compressed_hardware=_hardware_totals_from_dict(
+            compressed_hardware=_hardware_report_from_dict(
                 payload.get("compressed_hardware")),
             profile=(None if payload.get("profile") is None
                      else RunProfile.from_dict(payload["profile"])),
@@ -377,12 +385,21 @@ class CompressionPipeline:
     # -- full run -------------------------------------------------------- #
     def run(self, model: Union[None, str, Module] = None, data: DataArg = None,
             dense: Optional[DenseBaseline] = None,
-            inplace: bool = False) -> CompressionReport:
+            inplace: bool = False,
+            warm_start: Optional[Dict[str, np.ndarray]] = None
+            ) -> CompressionReport:
         """Execute every pipeline stage and return the combined report.
 
         ``dense`` accepts a precomputed :class:`DenseBaseline` (sweep
         caching).  With ``inplace=False`` (default) the caller's model is
         never mutated — the method works on a deep copy.
+
+        ``warm_start`` accepts a cached ``state_dict``-shaped mapping of a
+        previously finalized compressed model (the report cache's
+        checkpoint store): when the method supports warm starts and the
+        state matches the prepared model exactly, fine-tuning is seeded
+        from it instead of training from dense.  A mismatching state is
+        ignored — the run silently falls back to the cold path.
 
         Every stage runs under the spec's execution context
         (``spec.backend`` / ``spec.dtype``): models are built or cast to
@@ -390,11 +407,14 @@ class CompressionPipeline:
         probes run tape-free under :func:`~repro.nn.tensor.no_grad`.
         """
         with self.execution_context():
-            return self._run(model=model, data=data, dense=dense, inplace=inplace)
+            return self._run(model=model, data=data, dense=dense,
+                             inplace=inplace, warm_start=warm_start)
 
     def _run(self, model: Union[None, str, Module] = None, data: DataArg = None,
              dense: Optional[DenseBaseline] = None,
-             inplace: bool = False) -> CompressionReport:
+             inplace: bool = False,
+             warm_start: Optional[Dict[str, np.ndarray]] = None
+             ) -> CompressionReport:
         resolved, input_shape = self.resolve_model(model)
         spec = self.spec.with_overrides(input_shape=input_shape)
         run_profile = RunProfile() if spec.profile else None
@@ -416,6 +436,12 @@ class CompressionPipeline:
             work.astype(get_default_dtype())
         method: CompressionMethod = create_method(spec)
         work = method.prepare(work)
+        if warm_start is not None:
+            # Methods opt in by exposing warm_start(state) -> bool (every
+            # built-in adapter does); anything else ignores the seed.
+            seed_from = getattr(method, "warm_start", None)
+            if seed_from is not None:
+                seed_from(warm_start)
 
         loaders = resolve_loaders(data, seed=spec.seed)
         history = None

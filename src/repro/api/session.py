@@ -36,6 +36,7 @@ from __future__ import annotations
 import copy
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -64,7 +65,15 @@ from .executor import (
     op_hook_isolation,
     resolve_executor,
 )
-from .jobs import LoaderPlan, SweepJob
+from .cache import (
+    CacheArg,
+    CacheIntegrityWarning,
+    CacheKey,
+    WarmStart,
+    resolve_cache,
+)
+from .digests import data_digest, model_digest
+from .jobs import LoaderPlan, SweepJob, state_to_payload
 from .pipeline import (
     CompressionPipeline,
     CompressionReport,
@@ -121,8 +130,11 @@ class SessionEvent:
     """One progress notification (see :meth:`SweepSession.add_progress_callback`).
 
     ``kind`` is one of ``"submitted"``, ``"scheduled"``, ``"retrying"``,
-    ``"completed"``, ``"failed"`` or ``"cancelled"``; for ``"failed"``
-    events ``category`` distinguishes ``"error"`` from ``"timeout"``.
+    ``"completed"``, ``"cached"``, ``"failed"`` or ``"cancelled"``; a
+    ``"cached"`` event replaces ``"scheduled"`` + ``"completed"`` when the
+    result cache replays the spec's report without running it.  For
+    ``"failed"`` events ``category`` distinguishes ``"error"`` from
+    ``"timeout"``.
     """
 
     kind: str
@@ -150,6 +162,7 @@ class ShardTask:
     hardware: Optional[EyerissSpec]
     dense: DenseBaseline
     state: Optional[EngineState]
+    warm: Optional[dict] = None
 
 
 def execute_shard(task: ShardTask) -> CompressionReport:
@@ -162,7 +175,8 @@ def execute_shard(task: ShardTask) -> CompressionReport:
         pipeline = CompressionPipeline(task.spec, hardware=task.hardware)
         return pipeline.run(model=copy.deepcopy(task.model),
                             data=task.loaders.make(),
-                            dense=task.dense, inplace=True)
+                            dense=task.dense, inplace=True,
+                            warm_start=task.warm)
 
 
 def _loader_plan(data: DataArg, seed: int) -> LoaderPlan:
@@ -213,6 +227,11 @@ class SweepFuture:
         self._attempt_token = 0
         self._pool_future = None
         self._timers: List[threading.Timer] = []
+        # Cache bookkeeping (set once during scheduling, before any worker
+        # can race on the future).
+        self._cache_key: Optional[CacheKey] = None
+        self._from_cache = False
+        self._warm: Optional[WarmStart] = None
 
     # -- state ----------------------------------------------------------- #
     def done(self) -> bool:
@@ -225,6 +244,16 @@ class SweepFuture:
     def category(self) -> Optional[str]:
         """``None`` while unresolved or successful, else the failure kind."""
         return self._category
+
+    @property
+    def cached(self) -> bool:
+        """``True`` when the report was replayed from the result cache."""
+        return self._from_cache
+
+    @property
+    def warm_source(self) -> Optional[str]:
+        """Combined key of the cache entry that warm-started this run."""
+        return None if self._warm is None else self._warm.source
 
     def result(self, timeout: Optional[float] = None) -> CompressionReport:
         """The report, waiting if necessary; raises the failure otherwise."""
@@ -296,7 +325,21 @@ class SweepSession:
     ``executor`` / ``max_workers`` pick the strategy exactly as in
     ``run_sweep`` (including the ``REPRO_SWEEP_EXECUTOR`` environment
     variable); ``retry`` and ``timeout`` set session-wide defaults that
-    individual ``submit`` calls may override.  Timeouts are enforced by
+    individual ``submit`` calls may override.
+
+    ``cache`` plugs in the content-addressed result cache
+    (:mod:`repro.api.cache`): a policy string (``"off"`` / ``"read"`` /
+    ``"write"`` / ``"readwrite"``), a :class:`~repro.api.cache.ReportCache`
+    instance, or a ``(store, policy)`` pair.  Under a readable policy a
+    submission whose (spec, model, data) content address has a stored
+    report resolves instantly — its future reports ``cached=True`` and a
+    ``"cached"`` progress event fires instead of ``"scheduled"`` /
+    ``"completed"``.  Under a writable policy every fresh report (remote
+    results included) is written back, together with the finalized model's
+    parameters when the spec trained.  ``warm_start=True`` (the default;
+    only meaningful with a readable cache) additionally seeds a cache-miss
+    spec's fine-tuning from the nearest same-(method, model, data)
+    checkpoint instead of training from dense.  Timeouts are enforced by
     the session scheduler: a per-attempt timer abandons (and optionally
     retries) the shard, cancelling it when the executor has not started
     it yet.  Inline strategies (``serial``) run shards synchronously
@@ -314,7 +357,9 @@ class SweepSession:
                  executor: Optional[ExecutorLike] = None,
                  max_workers: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 cache: CacheArg = None,
+                 warm_start: bool = True):
         self._model = model
         self._data = data
         self._hardware = hardware
@@ -326,6 +371,10 @@ class SweepSession:
         self._max_workers = max_workers
         self._default_retry = (retry or RetryPolicy()).validate()
         self._default_timeout = _validated_timeout(timeout)
+        self._cache, self._cache_policy = resolve_cache(cache)
+        self._cache_read = self._cache_policy in ("read", "readwrite")
+        self._cache_write = self._cache_policy in ("write", "readwrite")
+        self._warm_start = bool(warm_start)
 
         self._cond = threading.Condition()
         self._boot_lock = threading.Lock()
@@ -344,6 +393,8 @@ class SweepSession:
         self._shard_dense: Optional[DenseBaseline] = None
         self._wire_common: Optional[dict] = None
         self._pool: Optional[ShardPool] = None
+        self._model_digest: Optional[str] = None
+        self._data_digest: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------- #
     def __enter__(self) -> "SweepSession":
@@ -546,6 +597,22 @@ class SweepSession:
         if self._executor.wire and plan.kind == "template":
             plan.to_payload()  # raises: live loaders cannot reach wire workers
 
+        # Cache addressing: the model digest is taken on the pristine base
+        # model (the dense probe trains a copy) and the data digest on the
+        # canonical recipe.  Template plans wrap live user loaders, which
+        # have no canonical form — such sessions run uncached.
+        base_digest = data_part = None
+        if self._cache is not None:
+            base_digest = model_digest(base_model)
+            data_part = data_digest(plan)
+            if data_part is None:
+                warnings.warn(
+                    "this session's data has no canonical recipe "
+                    "(user-supplied DataLoader objects), so its submissions "
+                    "cannot be content-addressed; the result cache is "
+                    "disabled for this session", CacheIntegrityWarning,
+                    stacklevel=3)
+
         # Stage 1 (parent): the dense baseline — model profile, hardware
         # evaluation and the trained dense accuracy probe — is computed once
         # and broadcast to every shard.
@@ -587,6 +654,8 @@ class SweepSession:
             self._dense = dense
             self._shard_dense = shard_dense
             self._wire_common = wire_common
+            self._model_digest = base_digest
+            self._data_digest = data_part
             for future in self._futures:
                 future.spec = future.spec.with_overrides(
                     input_shape=resolved_shape)
@@ -600,19 +669,94 @@ class SweepSession:
 
     # -- scheduling -------------------------------------------------------- #
     def _shard_payload(self, future: SweepFuture) -> Any:
+        warm = None if future._warm is None else future._warm.state
         if self._wire_common is not None:
-            return {**self._wire_common,
-                    "job_id": int(future.index),
-                    "spec": future.spec.to_dict()}
+            payload = {**self._wire_common,
+                       "job_id": int(future.index),
+                       "spec": future.spec.to_dict()}
+            if warm is not None:
+                payload["warm"] = state_to_payload(warm)
+            return payload
         return ShardTask(spec=future.spec, model=self._base_model,
                          loaders=self._plan, hardware=self._hardware,
-                         dense=self._shard_dense, state=self._state)
+                         dense=self._shard_dense, state=self._state,
+                         warm=warm)
+
+    # -- cache ------------------------------------------------------------- #
+    def _future_key(self, future: SweepFuture) -> Optional[CacheKey]:
+        """The submission's content address, or ``None`` when uncacheable."""
+        if (self._cache is None or self._model_digest is None
+                or self._data_digest is None):
+            return None
+        try:
+            spec_part = future.spec.digest()
+        except TypeError:
+            return None  # the spec carries a live Module / unencodable config
+        return CacheKey(method=future.spec.method, spec=spec_part,
+                        model=self._model_digest, data=self._data_digest)
+
+    def _try_cache(self, future: SweepFuture) -> bool:
+        """Replay a hit (``True``) or arm a near-miss warm start (``False``).
+
+        Runs once per future, during scheduling — before any worker can race
+        on it — so ``_cache_key`` / ``_warm`` need no further locking.
+        """
+        if self._cache is None:
+            return False
+        key = self._future_key(future)
+        if key is None:
+            return False
+        future._cache_key = key
+        if not self._cache_read:
+            return False
+        report = self._cache.get(key)
+        if report is not None:
+            future._from_cache = True
+            self._resolve(future, report=report)
+            return True
+        if (self._warm_start and future.spec.epochs > 0
+                and self._plan is not None and self._plan.kind != "none"):
+            try:
+                future._warm = self._cache.nearest_checkpoint(
+                    key, future.spec.to_dict())
+            except Exception as exc:
+                warnings.warn(
+                    f"warm-start lookup failed for spec[{future.index}] "
+                    f"({future.spec.display_label}); running cold: {exc}",
+                    CacheIntegrityWarning, stacklevel=2)
+        return False
+
+    def _store_result(self, future: SweepFuture,
+                      report: CompressionReport) -> None:
+        """Write a fresh report (and checkpoint, when trained) back."""
+        if self._cache is None or not self._cache_write:
+            return
+        key = future._cache_key or self._future_key(future)
+        if key is None:
+            return
+        checkpoint = None
+        if future.spec.epochs > 0 and report.compressed.model is not None:
+            # Untrained parameters would poison later warm starts, and wire
+            # results (model dropped by repro-report/1) have nothing to save
+            # — the report itself is still cached.
+            checkpoint = report.compressed.model.state_dict()
+        warm_source = None if future._warm is None else future._warm.source
+        try:
+            self._cache.put(key, report, checkpoint=checkpoint,
+                            warm_source=warm_source)
+        except Exception as exc:
+            warnings.warn(
+                f"report-cache write failed for spec[{future.index}] "
+                f"({future.spec.display_label}): {exc}",
+                CacheIntegrityWarning, stacklevel=2)
 
     def _schedule(self, future: SweepFuture) -> None:
         with self._cond:
             if future.done():
                 return
             future._state = _SCHEDULED
+        if self._try_cache(future):
+            return
         if self._executor.inline:
             self._run_inline(future)
         else:
@@ -797,7 +941,16 @@ class SweepSession:
             future._callbacks.clear()
             self._cond.notify_all()
         if error is None:
-            self._emit("completed", future)
+            if future._from_cache:
+                self._emit("cached", future)
+            else:
+                self._emit("completed", future)
+                if report is not None:
+                    # Write-back runs outside the lock, after the rebind
+                    # above, so the stored dense payload carries the full
+                    # baseline (hardware totals included) a replay must
+                    # reproduce.
+                    self._store_result(future, report)
         elif category == CATEGORY_CANCELLED:
             self._emit("cancelled", future, error=error)
         else:

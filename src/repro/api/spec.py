@@ -315,6 +315,19 @@ class CompressionSpec:
     def with_overrides(self, **kwargs) -> "CompressionSpec":
         return replace(self, **kwargs)
 
+    def digest(self) -> str:
+        """SHA-256 content address of this spec's canonical wire payload.
+
+        Hashes :meth:`to_dict` through the canonical JSON encoding
+        (:func:`repro.api.digests.payload_digest`), so the digest is
+        invariant to dict key order and config-field insertion order and
+        stable across processes — the spec third of a report-cache key.
+        Specs carrying a built ``Module`` have no wire payload and no
+        digest (``to_dict`` raises ``TypeError``).
+        """
+        from .digests import payload_digest
+        return payload_digest(self.to_dict())
+
     @property
     def display_label(self) -> str:
         return self.label or self.method

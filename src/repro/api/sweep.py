@@ -28,6 +28,7 @@ from ..metrics.compression import ComparisonTable, MethodResult, pareto_front
 from ..metrics.tables import format_count, format_reduction, render_table
 from ..nn.module import Module
 from ..nn.profiler import OpProfile
+from .cache import CacheArg
 from .executor import ExecutorLike
 from .pipeline import CompressionReport, DataArg, DenseBaseline
 from .registry import get_method
@@ -214,7 +215,9 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
               seed: int = 0,
               executor: Optional[ExecutorLike] = None,
               max_workers: Optional[int] = None,
-              on_error: str = "raise") -> SweepResult:
+              on_error: str = "raise",
+              cache: CacheArg = None,
+              warm_start: bool = True) -> SweepResult:
     """Run many compression specs against one shared model / dataset.
 
     With ``specs=None`` the Table II method set (all six registered
@@ -241,6 +244,14 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
     :class:`SweepFailure` on ``SweepResult.failures`` and keeps every other
     shard's report.
 
+    ``cache`` enables the content-addressed result cache
+    (:mod:`repro.api.cache`): pass a policy string (``"read"`` /
+    ``"write"`` / ``"readwrite"``) to use the default store (honouring
+    ``REPRO_CACHE_DIR``), or a :class:`~repro.api.cache.ReportCache`
+    instance.  Cached specs replay their stored report bit-identically
+    instead of re-running; ``warm_start`` (default ``True``) additionally
+    seeds cache-miss fine-tuning from the nearest stored checkpoint.
+
     Specs with ``profile=True`` collect their layer-scoped op profile
     *inside* the shard that runs them (op hooks are thread-local) and ship
     it back with the report — through pickle for process shards and
@@ -263,7 +274,8 @@ def run_sweep(specs: Optional[Sequence[CompressionSpec]] = None,
     session = SweepSession(model=model, data=data, hardware=hardware,
                            input_shape=input_shape, dtype=dtype,
                            backend=backend, seed=seed, executor=executor,
-                           max_workers=max_workers)
+                           max_workers=max_workers, cache=cache,
+                           warm_start=warm_start)
     with session:
         session.submit_all(specs, fail_fast=(on_error == "raise"))
         return session.result(on_error=on_error)

@@ -29,6 +29,7 @@ from ..api import (
     compress,
     print_progress,
 )
+from ..api.cache import CacheArg
 from ..api.sweep import ALF_TABLE2_STAGE_REMAINING
 from ..core import ALFConfig
 from ..metrics import MethodResult, pareto_front, profile_model
@@ -178,7 +179,8 @@ def _table2_cost_sweep(seed: int = 0,
                        workers: Optional[int] = None,
                        executor: Optional[str] = None,
                        profile: bool = False,
-                       stream: bool = False):
+                       stream: bool = False,
+                       cache: CacheArg = None):
     specs = table2_cost_specs(seed=seed,
                               alf_remaining_fraction=alf_remaining_fraction)
     if profile:
@@ -187,7 +189,8 @@ def _table2_cost_sweep(seed: int = 0,
     # the spec-ordered result is identical to the batch run_sweep call.
     with SweepSession(model="resnet20", hardware=None,
                       input_shape=CIFAR_INPUT, seed=seed,
-                      executor=executor, max_workers=workers) as session:
+                      executor=executor, max_workers=workers,
+                      cache=cache) as session:
         if stream:
             session.add_progress_callback(
                 print_progress("table2", total=len(specs)))
@@ -200,7 +203,8 @@ def table2_costs(seed: int = 0,
                  workers: Optional[int] = None,
                  executor: Optional[str] = None,
                  profile: bool = False,
-                 stream: bool = False) -> Dict[str, Dict[str, float]]:
+                 stream: bool = False,
+                 cache: CacheArg = None) -> Dict[str, Dict[str, float]]:
     """Cost columns of the compressed Table II rows, via one (sharded) sweep.
 
     The three method evaluations share a single dense ResNet-20 and run in
@@ -210,12 +214,14 @@ def table2_costs(seed: int = 0,
     method: the measured wall-clock of one profiled inference batch of the
     compressed model (collected inside the shard that ran the spec).
     ``stream=True`` prints one progress line per scheduling milestone as
-    shard results stream back from the session.
+    shard results stream back from the session.  ``cache`` is the result
+    cache knob (see :func:`repro.api.run_sweep`): a policy name, a store,
+    or ``(store, policy)``.
     """
     sweep = _table2_cost_sweep(seed=seed,
                                alf_remaining_fraction=alf_remaining_fraction,
                                workers=workers, executor=executor,
-                               profile=profile, stream=stream)
+                               profile=profile, stream=stream, cache=cache)
     costs = {}
     for report in sweep.reports:
         entry = {"params": report.cost["params"], "ops": report.cost["ops"]}
@@ -305,7 +311,8 @@ def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
         workers: Optional[int] = None,
         executor: Optional[str] = None,
         profile: bool = False,
-        stream: bool = False) -> Table2Result:
+        stream: bool = False,
+        cache: CacheArg = None) -> Table2Result:
     """Regenerate Table II (cost columns exact, accuracy from proxy runs).
 
     ``workers`` / ``executor`` shard the per-method cost evaluations across
@@ -314,7 +321,10 @@ def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
     ``t [ms]`` column — one layer-scoped profiled inference batch per row,
     next to the analytical OPs — and keeps the full per-layer profiles on
     ``Table2Result.profiles``.  ``stream=True`` prints per-method progress
-    lines while the cost sweep's shard results stream in.
+    lines while the cost sweep's shard results stream in.  ``cache``
+    selects the result cache policy for the cost sweep (the proxy accuracy
+    runs always recompute): repeated invocations replay the cost columns
+    from the store instead of re-evaluating them.
     """
     plain_model = plain20(rng=np.random.default_rng(seed))
     resnet_model = resnet20(rng=np.random.default_rng(seed))
@@ -323,7 +333,7 @@ def run(scale: str = "ci", seed: int = 0, measure_accuracy: bool = True,
     sweep = _table2_cost_sweep(seed=seed,
                                alf_remaining_fraction=alf_remaining_fraction,
                                workers=workers, executor=executor,
-                               profile=profile, stream=stream)
+                               profile=profile, stream=stream, cache=cache)
     costs = {report.method: report.cost for report in sweep.reports}
     amc, fpgm, alf = costs["amc"], costs["fpgm"], costs["alf"]
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..api import ALFSpec, CompressionSpec, SweepSession, print_progress
+from ..api.cache import CacheArg
 from ..hardware import EyerissSpec, EYERISS_PAPER, NetworkReport
 from ..metrics.tables import render_table
 from ..models import build_model
@@ -136,7 +137,8 @@ def run(architecture: str = "plain20", batch: int = 16,
         workers: Optional[int] = None,
         executor: Optional[str] = None,
         profile: bool = False,
-        stream: bool = False) -> Fig3Result:
+        stream: bool = False,
+        cache: CacheArg = None) -> Fig3Result:
     """Evaluate vanilla vs. ALF-compressed execution on the Eyeriss model.
 
     One single-spec sweep session supplies both sides: the session's dense
@@ -153,6 +155,12 @@ def run(architecture: str = "plain20", batch: int = 16,
     lands on the rows (``vanilla_seconds`` / ``alf_seconds``, rendered as
     two extra columns) next to the modeled Eyeriss numbers, and the full
     profiles are kept on ``vanilla_profile`` / ``alf_profile``.
+
+    ``cache`` selects the session's result-cache policy (see
+    :func:`repro.api.run_sweep`); with a populated store the ALF
+    evaluation replays instead of recomputing.  Profiled runs measure
+    fresh wall-clock and are not cached bit-identically, so combine
+    ``profile=True`` with ``cache`` only when stale timings are fine.
     """
     names = plain_layer_names()
     if architecture not in ("plain20", "resnet20"):
@@ -169,7 +177,8 @@ def run(architecture: str = "plain20", batch: int = 16,
                                label=f"ALF-{architecture}")
     with SweepSession(model=architecture, hardware=spec or EYERISS_PAPER,
                       input_shape=CIFAR_INPUT, seed=seed,
-                      executor=executor, max_workers=workers) as session:
+                      executor=executor, max_workers=workers,
+                      cache=cache) as session:
         if stream:
             session.add_progress_callback(print_progress("fig3", total=1))
         session.submit(alf_spec)

@@ -10,8 +10,8 @@ reports into the relative energy / latency improvements the paper quotes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..nn.module import Module
 from .energy import EnergyBreakdown, energy_breakdown
@@ -26,9 +26,40 @@ class LayerReport:
     """Hardware evaluation of one convolutional workload."""
 
     layer: ConvLayerShape
-    mapping: Mapping
     energy: EnergyBreakdown
     latency: LatencyEstimate
+    #: The winning dataflow mapping.  ``None`` on reports rebuilt from the
+    #: wire form: the tiling search internals do not travel, only their
+    #: energy / latency outcome does.
+    mapping: Optional[Mapping] = None
+
+    # -- wire format ---------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form: workload geometry + energy + latency breakdowns."""
+        return {
+            "layer": {**asdict(self.layer), "input_hw": list(self.layer.input_hw)},
+            "energy": {
+                "name": self.energy.name,
+                "register_file": float(self.energy.register_file),
+                "global_buffer": float(self.energy.global_buffer),
+                "dram": float(self.energy.dram),
+            },
+            "latency": {
+                "name": self.latency.name,
+                "compute_cycles": float(self.latency.compute_cycles),
+                "dram_cycles": float(self.latency.dram_cycles),
+                "utilization": float(self.latency.utilization),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LayerReport":
+        shape = payload["layer"]
+        return cls(
+            layer=ConvLayerShape(**{**shape, "input_hw": tuple(shape["input_hw"])}),
+            energy=EnergyBreakdown(**payload["energy"]),
+            latency=LatencyEstimate(**payload["latency"]),
+        )
 
 
 @dataclass
@@ -85,6 +116,22 @@ class NetworkReport:
             base: sum(r.latency.total_cycles for r in reports)
             for base, reports in self.grouped_by_base_name().items()
         }
+
+    # -- wire format ---------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form carrying the full per-layer breakdown."""
+        return {
+            "name": self.name,
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "NetworkReport":
+        return cls(
+            name=payload.get("name", "network"),
+            layers=[LayerReport.from_dict(entry)
+                    for entry in payload.get("layers", [])],
+        )
 
 
 def evaluate_layers(layers: Sequence[ConvLayerShape], spec: Optional[EyerissSpec] = None,
