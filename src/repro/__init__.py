@@ -17,6 +17,9 @@ Subpackages
     Analytical Eyeriss/Timeloop-style hardware model (energy / latency).
 ``repro.metrics``
     OPs / parameter counters and compression reporting.
+``repro.deploy``
+    Compiled inference: static plans over a preallocated buffer arena,
+    with optional streaming (row-banded) convolution under a memory budget.
 ``repro.experiments``
     One module per paper table/figure reproducing its rows or series.
 ``repro.api``
@@ -34,7 +37,7 @@ from . import nn  # noqa: F401
 #: Subpackages importable lazily as ``repro.<name>`` plus the two façade
 #: entry points re-exported at the top level (``repro.compress(...)``).
 _LAZY_SUBMODULES = (
-    "api", "baselines", "core", "data", "experiments", "hardware",
+    "api", "baselines", "core", "data", "deploy", "experiments", "hardware",
     "metrics", "models",
 )
 _API_REEXPORTS = ("compress", "run_sweep", "CompressionSpec", "CompressionReport")

@@ -143,6 +143,7 @@ from .pipeline import (
     compress,
     resolve_loaders,
 )
+from .plan import compile_report
 from .protocol import CompressedModel, CompressionMethod
 from .registry import (
     MethodEntry,
@@ -176,7 +177,7 @@ __all__ = [
     # façade
     "compress", "run_sweep", "CompressionPipeline", "CompressionReport",
     "SweepResult", "SweepFailure", "DenseBaseline", "table2_specs",
-    "resolve_loaders",
+    "resolve_loaders", "compile_report",
     # sessions
     "SweepSession", "SweepFuture", "RetryPolicy", "SessionEvent",
     "SweepTimeoutError", "SweepCancelledError", "ShardTask",

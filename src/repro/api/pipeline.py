@@ -170,6 +170,21 @@ class CompressionReport:
             return None
         return 1.0 - self.compressed_hardware.total_latency / self.dense_hardware.total_latency
 
+    # -- deployment ----------------------------------------------------- #
+    def plan(self, *, batch: Optional[int] = None,
+             memory_budget: Optional[int] = None, fold_bn: bool = False,
+             elide_dead: bool = True, backend=None):
+        """Compile the compressed model into a static inference plan.
+
+        Delegates to :func:`repro.api.compile_report`: the spec's input
+        shape, hardware batch and backend / dtype scope become the plan's
+        compile-time geometry unless overridden here.
+        """
+        from .plan import compile_report
+        return compile_report(self, batch=batch, memory_budget=memory_budget,
+                              fold_bn=fold_bn, elide_dead=elide_dead,
+                              backend=backend)
+
     # -- views ---------------------------------------------------------- #
     def as_method_result(self) -> MethodResult:
         return MethodResult(

@@ -1,0 +1,57 @@
+"""Compile a finished :class:`CompressionReport` into an inference plan.
+
+This is the deployment hand-off of the API layer: after a pipeline run
+(or a cache hit that rebuilt the model), :func:`compile_report` turns the
+compressed model into a static :class:`repro.deploy.InferencePlan` using
+the geometry and execution settings already recorded on the spec — the
+same backend / dtype scope the pipeline trained and evaluated under, the
+spec's input shape, and its hardware batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..deploy import InferencePlan
+from ..deploy import compile as compile_plan
+from ..models import default_input_shape
+from ..nn.backend import use_backend
+from .pipeline import CompressionReport
+
+
+def _resolve_input_shape(report: CompressionReport) -> Tuple[int, ...]:
+    if report.spec.input_shape is not None:
+        return tuple(report.spec.input_shape)
+    if isinstance(report.spec.model, str):
+        return tuple(default_input_shape(report.spec.model))
+    raise ValueError(
+        "cannot infer the input shape: spec.input_shape is unset and "
+        "spec.model is not a registry name")
+
+
+def compile_report(report: CompressionReport, *, batch: Optional[int] = None,
+                   memory_budget: Optional[int] = None, fold_bn: bool = False,
+                   elide_dead: bool = True, backend=None) -> InferencePlan:
+    """Compile ``report.model`` into a static :class:`InferencePlan`.
+
+    The input shape comes from ``report.spec.input_shape`` (falling back
+    to the registry default when the spec names a model), ``batch``
+    defaults to ``spec.hardware_batch``, and — unless an explicit
+    ``backend`` is given — compilation runs under the same
+    backend / dtype scope as the pipeline itself, so the plan's weights
+    and buffers match the dtype the report was produced in.
+
+    The report must still carry its live model (reports rebuilt from the
+    wire format via :meth:`CompressionReport.from_dict` do not).
+    """
+    input_shape = _resolve_input_shape(report)
+    if batch is None:
+        batch = report.spec.hardware_batch
+    if backend is not None:
+        return compile_plan(report.model, input_shape, batch=batch,
+                            memory_budget=memory_budget, fold_bn=fold_bn,
+                            elide_dead=elide_dead, backend=backend)
+    with use_backend(report.spec.backend, dtype=report.spec.dtype):
+        return compile_plan(report.model, input_shape, batch=batch,
+                            memory_budget=memory_budget, fold_bn=fold_bn,
+                            elide_dead=elide_dead)

@@ -105,6 +105,21 @@ class CompressionResult:
             return 1.0
         return self.total_kept_filters / self.total_filters
 
+    def compile(self, input_shape: Tuple[int, ...], *, batch: int = 1,
+                memory_budget: Optional[int] = None, fold_bn: bool = False,
+                elide_dead: bool = True, backend=None):
+        """Compile the compressed model into a static inference plan.
+
+        Each :class:`CompressedConv2d` lowers to two plan steps — the
+        reduced code convolution (with its intermediate activation fused
+        in) and the 1x1 expansion — over preallocated buffers.  See
+        :func:`repro.deploy.compile` for the options.
+        """
+        from ..deploy import compile as compile_plan
+        return compile_plan(self.model, input_shape, batch=batch,
+                            memory_budget=memory_budget, fold_bn=fold_bn,
+                            elide_dead=elide_dead, backend=backend)
+
 
 def compress_block(block: ALFConv2d, keep_at_least_one: bool = True) -> Tuple[CompressedConv2d, CompressionRecord]:
     """Build the deployed form of a single ALF block."""

@@ -1,0 +1,20 @@
+"""``repro.deploy`` — compiled inference plans.
+
+:func:`compile` turns a trained model into a static
+:class:`InferencePlan`: one traced forward pass lowered onto a
+:class:`~repro.deploy.arena.BufferArena` of preallocated, liveness-reused
+buffers, with constant freezing, optional BatchNorm folding, dead-filter
+elision, activation fusion and (under ``memory_budget=``) row-band
+streaming of oversized im2col convolutions.  Default-option plans are
+bit-identical to the eager ``model(x)`` under ``no_grad()``.
+"""
+
+from .arena import ArenaStats, BufferArena, BufferRef
+from .plan import InferencePlan, PlanStats, compile
+from .tiling import MIN_BAND_ROWS, StreamedConv, band_plan, iter_bands
+
+__all__ = [
+    "compile", "InferencePlan", "PlanStats",
+    "BufferArena", "BufferRef", "ArenaStats",
+    "StreamedConv", "band_plan", "iter_bands", "MIN_BAND_ROWS",
+]

@@ -3,7 +3,12 @@
 from .googlenet import GoogLeNet, InceptionModule, googlenet
 from .lenet import LeNet, lenet
 from .plain import ConvBNReLU, PlainNet, plain8, plain20, plain_layer_names
-from .registry import available_models, build_model, default_input_shape
+from .registry import (
+    available_models,
+    bench_input_shape,
+    build_model,
+    default_input_shape,
+)
 from .resnet import (
     BasicBlock,
     ResNetCIFAR,
@@ -23,4 +28,5 @@ __all__ = [
     "GoogLeNet", "InceptionModule", "googlenet",
     "LeNet", "lenet",
     "build_model", "available_models", "default_input_shape",
+    "bench_input_shape",
 ]

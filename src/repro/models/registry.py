@@ -67,3 +67,15 @@ def default_input_shape(name: str) -> tuple:
     if key not in DEFAULT_INPUT_SHAPES:
         raise KeyError(f"unknown model '{name}'")
     return DEFAULT_INPUT_SHAPES[key]
+
+
+def bench_input_shape(name: str, max_hw: int = 64) -> tuple:
+    """A tractable (C, H, W) geometry for tests and benchmarks.
+
+    Same as :func:`default_input_shape` but with the spatial extent capped
+    at ``max_hw`` — the ImageNet architectures are fully convolutional down
+    to their global pooling, so they run unchanged on smaller images while
+    keeping whole-zoo sweeps fast.
+    """
+    c, h, w = default_input_shape(name)
+    return (c, min(h, max_hw), min(w, max_hw))

@@ -87,6 +87,7 @@ from .tensor import (
     set_grad_mode,
     stack,
     tape_nodes_created,
+    trace_ops,
     zeros,
 )
 
@@ -104,7 +105,7 @@ __all__ = [
     "set_grad_mode", "tape_nodes_created",
     "register_op", "registered_ops", "apply_op",
     "add_op_hook", "remove_op_hook", "installed_op_hooks", "restore_op_hooks",
-    "profile_ops", "op_hooks_active", "current_layer",
+    "profile_ops", "op_hooks_active", "current_layer", "trace_ops",
     # profiler: structured layer-scoped reports
     "OpProfile", "OpStat", "RunProfile", "collect_profile",
     "layer_op_seconds", "profile_inference",

@@ -46,6 +46,13 @@ class Backend:
     #: Registry key; subclasses override.
     name: str = "abstract"
 
+    #: Whether numpy-style in-place ufuncs (``out=`` kwargs, ``+=`` on the
+    #: backend's arrays) are valid and bit-identical to their out-of-place
+    #: forms.  Compiled inference plans (:mod:`repro.deploy`) only emit
+    #: buffer-reusing kernels when this is true; otherwise every step falls
+    #: back to the pure registered-op forward.
+    supports_inplace: bool = False
+
     def __init__(self, dtype=np.float64):
         self._default_dtype = np.dtype(dtype)
 
@@ -94,6 +101,52 @@ class Backend:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
+    # Optional ``out=`` fast paths
+    # ------------------------------------------------------------------ #
+    # The compiled-plan serving path (:mod:`repro.deploy`) writes results
+    # into preallocated arena buffers.  The defaults below are *pure
+    # fallbacks* — compute with the allocating primitive, then copy — so
+    # any backend works unmodified; backends that can write in place
+    # override them (see :class:`NumpyBackend`) and skip the copy.
+    def matmul_out(self, a: np.ndarray, b: np.ndarray,
+                   out: np.ndarray) -> np.ndarray:
+        out[...] = self.matmul(a, b)
+        return out
+
+    def einsum_out(self, subscripts: str, *operands: np.ndarray,
+                   out: np.ndarray) -> np.ndarray:
+        out[...] = self.einsum(subscripts, *operands)
+        return out
+
+    def im2col_out(self, x: np.ndarray, kernel: Tuple[int, int],
+                   stride: Tuple[int, int], padding: Tuple[int, int],
+                   out: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Like :meth:`im2col` but gathering into ``out`` (same shape)."""
+        cols, out_hw = self.im2col(x, kernel, stride, padding)
+        out[...] = cols
+        return out, out_hw
+
+    # ------------------------------------------------------------------ #
+    # Indexed gather / scatter (pooling) and layout control
+    # ------------------------------------------------------------------ #
+    # Numpy implementations are correct for any array-protocol backend, so
+    # these default instead of raising: subclasses that do not manage their
+    # own memory layout inherit working pooling/deploy paths for free.
+    def take_along_axis(self, array: np.ndarray, indices: np.ndarray,
+                        axis: int) -> np.ndarray:
+        return np.take_along_axis(array, indices, axis=axis)
+
+    def put_along_axis(self, array: np.ndarray, indices: np.ndarray,
+                       values: np.ndarray, axis: int) -> None:
+        np.put_along_axis(array, indices, values, axis=axis)
+
+    def broadcast_to(self, array: np.ndarray, shape) -> np.ndarray:
+        return np.broadcast_to(array, shape)
+
+    def ascontiguousarray(self, array: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(array)
+
+    # ------------------------------------------------------------------ #
     # Convolution lowering
     # ------------------------------------------------------------------ #
     def im2col(self, x: np.ndarray, kernel: Tuple[int, int],
@@ -120,6 +173,7 @@ class NumpyBackend(Backend):
     """Reference backend: plain numpy, einsum-lowered convolutions."""
 
     name = "numpy"
+    supports_inplace = True
 
     # -- creation ------------------------------------------------------- #
     def asarray(self, data, dtype=None) -> np.ndarray:
@@ -144,6 +198,52 @@ class NumpyBackend(Backend):
 
     def einsum(self, subscripts: str, *operands: np.ndarray) -> np.ndarray:
         return np.einsum(subscripts, *operands, optimize=True)
+
+    # -- out= fast paths ------------------------------------------------- #
+    def matmul_out(self, a: np.ndarray, b: np.ndarray,
+                   out: np.ndarray) -> np.ndarray:
+        return np.matmul(a, b, out=out)
+
+    def einsum_out(self, subscripts: str, *operands: np.ndarray,
+                   out: np.ndarray) -> np.ndarray:
+        return np.einsum(subscripts, *operands, out=out, optimize=True)
+
+    def im2col_out(self, x: np.ndarray, kernel: Tuple[int, int],
+                   stride: Tuple[int, int], padding: Tuple[int, int],
+                   out: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        n, c, h, w = x.shape
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        out_h = conv_output_size(h, kh, sh, ph)
+        out_w = conv_output_size(w, kw, sw, pw)
+        if ph or pw:
+            x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        strides = (
+            x.strides[0], x.strides[1], x.strides[2], x.strides[3],
+            x.strides[2] * sh, x.strides[3] * sw,
+        )
+        shape = (n, c, kh, kw, out_h, out_w)
+        windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+        # ``out`` is contiguous, so viewing it in window layout and copying
+        # produces exactly the bytes ``ascontiguousarray`` would have.
+        np.copyto(out.reshape(shape), windows)
+        return out, (out_h, out_w)
+
+    # -- indexed gather / scatter ---------------------------------------- #
+    def take_along_axis(self, array: np.ndarray, indices: np.ndarray,
+                        axis: int) -> np.ndarray:
+        return np.take_along_axis(array, indices, axis=axis)
+
+    def put_along_axis(self, array: np.ndarray, indices: np.ndarray,
+                       values: np.ndarray, axis: int) -> None:
+        np.put_along_axis(array, indices, values, axis=axis)
+
+    def broadcast_to(self, array: np.ndarray, shape) -> np.ndarray:
+        return np.broadcast_to(array, shape)
+
+    def ascontiguousarray(self, array: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(array)
 
     # -- convolution lowering ------------------------------------------- #
     def im2col(self, x: np.ndarray, kernel: Tuple[int, int],

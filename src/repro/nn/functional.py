@@ -60,9 +60,18 @@ def _conv2d_fwd(x, weight, *bias, stride, padding):
     cols, (out_h, out_w) = backend.im2col(x, (kh, kw), stride, padding)
     w_mat = weight.reshape(co, -1)
     out = backend.einsum("of,nfl->nol", w_mat, cols)
-    out = out.reshape(n, co, out_h, out_w)
+    # einsum may hand back a transposed GEMM view; canonicalize to C order
+    # so downstream reductions see one deterministic iteration order (the
+    # same one the compiled-plan arena buffers use).
+    out = backend.ascontiguousarray(out.reshape(n, co, out_h, out_w))
     if bias:
-        out = out + bias[0].reshape(1, co, 1, 1)
+        # The einsum output is fresh and unshared, so backends that allow
+        # in-place ufuncs can add the bias without materializing a second
+        # full activation array.
+        if backend.supports_inplace:
+            out += bias[0].reshape(1, co, 1, 1)
+        else:
+            out = out + bias[0].reshape(1, co, 1, 1)
     ctx = (cols, w_mat, x.shape, weight.shape, (kh, kw), stride, padding,
            (out_h, out_w), bias[0].shape if bias else None)
     return out, ctx
@@ -92,7 +101,7 @@ def _max_pool2d_fwd(x, *, kernel, stride):
     cols, (out_h, out_w) = backend.im2col(x, kernel, stride, (0, 0))
     cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
     argmax = cols.argmax(axis=2)
-    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out = backend.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
     out = out.reshape(n, c, out_h, out_w)
     return out, (argmax, x.shape, kernel, stride, (out_h, out_w))
 
@@ -102,8 +111,8 @@ def _max_pool2d_bwd(ctx, grad, needs):
     argmax, x_shape, kernel, stride, (out_h, out_w) = ctx
     n, c, _, _ = x_shape
     window = kernel[0] * kernel[1]
-    grad_cols = np.zeros((n, c, window, out_h * out_w), dtype=grad.dtype)
-    np.put_along_axis(
+    grad_cols = backend.zeros((n, c, window, out_h * out_w), dtype=grad.dtype)
+    backend.put_along_axis(
         grad_cols, argmax[:, :, None, :], grad.reshape(n, c, 1, out_h * out_w), axis=2
     )
     grad_cols = grad_cols.reshape(n, c * window, out_h * out_w)
@@ -125,17 +134,25 @@ def _avg_pool2d_bwd(ctx, grad, needs):
     x_shape, kernel, stride, (out_h, out_w) = ctx
     n, c, _, _ = x_shape
     window = kernel[0] * kernel[1]
-    grad_cols = np.broadcast_to(
+    grad_cols = backend.broadcast_to(
         grad.reshape(n, c, 1, out_h * out_w) / window,
         (n, c, window, out_h * out_w),
     ).reshape(n, c * window, out_h * out_w)
-    return (backend.col2im(np.ascontiguousarray(grad_cols), x_shape, kernel,
+    return (backend.col2im(backend.ascontiguousarray(grad_cols), x_shape, kernel,
                            stride, (0, 0), (out_h, out_w)),)
 
 
 _CONV2D = register_op("conv2d", _conv2d_fwd, _conv2d_bwd)
 _MAX_POOL2D = register_op("max_pool2d", _max_pool2d_fwd, _max_pool2d_bwd)
 _AVG_POOL2D = register_op("avg_pool2d", _avg_pool2d_fwd, _avg_pool2d_bwd)
+
+#: Raw forward kernels, exposed for tape-free consumers.  A compiled
+#: inference plan (:mod:`repro.deploy`) executes these directly on arrays —
+#: no Tensor wrapping, no tape, no context retention; each returns
+#: ``(out_array, ctx)`` and the caller drops ``ctx``.
+conv2d_fwd = _conv2d_fwd
+max_pool2d_fwd = _max_pool2d_fwd
+avg_pool2d_fwd = _avg_pool2d_fwd
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,

@@ -303,7 +303,29 @@ def profile_inference(model, input_shape: Tuple[int, ...],
     The model is switched to eval mode for the forward (and restored), so
     the measured pass is the inference execution the hardware model
     evaluates — per-layer wall-clock next to modeled energy / latency.
+
+    Compiled plans profile too: anything exposing ``profile_steps`` (see
+    :meth:`repro.deploy.InferencePlan.profile_steps`) is timed step by
+    step, and each step is recorded under the layer path of the module
+    that produced its op in the traced forward — so plan profiles line up
+    with eager profiles of the same model.  A plan's batch size is baked
+    at compile time; the ``batch`` argument is ignored for plans, and
+    ``input_shape`` must match the compiled geometry.
     """
+    profile_steps = getattr(model, "profile_steps", None)
+    if profile_steps is not None:
+        if tuple(input_shape) != tuple(model.input_shape):
+            raise ValueError(
+                f"plan was compiled for input shape {tuple(model.input_shape)}, "
+                f"got {tuple(input_shape)}")
+        dummy = np.zeros((model.batch,) + tuple(model.input_shape),
+                         dtype=model.input_dtype)
+        profile = OpProfile()
+        _, timings = profile_steps(dummy)
+        for name, seconds, layer in timings:
+            profile.record(name, seconds, layer)
+        return profile
+
     was_training = model.training
     model.eval()
     dummy = Tensor(np.zeros((batch,) + tuple(input_shape),

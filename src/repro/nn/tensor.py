@@ -332,6 +332,31 @@ def current_layer() -> str:
     return ".".join(stack) if stack else ""
 
 
+# -- op tracing --------------------------------------------------------------- #
+#: Per-thread op tracer installed by :func:`trace_ops`.  Unlike op hooks
+#: (which observe only name/time/layer), a tracer receives the op object,
+#: the raw input arrays, the kwargs and the output array of every executed
+#: op — enough to reconstruct the dataflow graph of a forward pass.  The
+#: plan compiler (:mod:`repro.deploy`) is the one consumer.
+_TRACER_TLS = threading.local()
+
+
+@contextmanager
+def trace_ops(tracer):
+    """Route every op executed by this thread through ``tracer.record``.
+
+    ``tracer`` must expose ``record(op, input_arrays, kwargs, out_array)``;
+    it is called after each forward, whatever the grad mode.  Tracers nest:
+    the innermost scope wins, and the previous tracer is restored on exit.
+    """
+    previous = getattr(_TRACER_TLS, "tracer", None)
+    _TRACER_TLS.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _TRACER_TLS.tracer = previous
+
+
 @contextmanager
 def profile_ops():
     """Collect per-op call counts and wall-clock while the context is active.
@@ -370,6 +395,9 @@ def apply_op(op: Op, *inputs: "Tensor", **kwargs) -> "Tensor":
             hook(op.name, elapsed, layer)
     else:
         data, ctx = op.forward(*arrays, **kwargs)
+    tracer = getattr(_TRACER_TLS, "tracer", None)
+    if tracer is not None:
+        tracer.record(op, arrays, kwargs, data)
     if _grad_mode() is False:
         return Tensor(data)
     needs = tuple(t.requires_grad for t in inputs)

@@ -1,0 +1,347 @@
+"""Compiled inference plans: bit-identity, arena safety, optimizations.
+
+The headline contract (also asserted by the CI ``tests-deploy`` job under
+``REPRO_DEFAULT_DTYPE=float32``): with default options, ``compile(model,
+shape)`` produces a plan whose output bytes equal the eager
+``Module.__call__`` output bytes for every zoo model, on every registered
+numpy backend, at batch 1 and batch 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.alf_block import ALFConv2d
+from repro.core.config import ALFConfig
+from repro.core.deploy import CompressedConv2d, compress_model
+from repro.deploy import (
+    MIN_BAND_ROWS,
+    band_plan,
+    compile,
+    iter_bands,
+)
+from repro.models import available_models, bench_input_shape, build_model
+from repro.nn import Tensor, no_grad
+from repro.nn.backend import NumpyBackend, get_backend, use_backend
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, MaxPool2d, ReLU
+from repro.nn.module import Sequential
+from repro.nn.profiler import profile_inference
+
+
+def _eager(model, x):
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+def _compile_and_run(model, shape, batch, backend, seed=0, **kwargs):
+    """Compile under ``backend`` and return (plan_out, eager_out, plan)."""
+    backend = get_backend(backend) if isinstance(backend, str) else backend
+    with use_backend(backend):
+        plan = compile(model, shape, batch=batch, **kwargs)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((batch,) + shape).astype(plan.input_dtype)
+        ref = _eager(model, backend.asarray(x))
+        out = plan(x).data
+    return out, ref, plan
+
+
+# --------------------------------------------------------------------------- #
+# Bit-identity across the zoo
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ["numpy", "numpy32", "numpy64"])
+@pytest.mark.parametrize("name", available_models())
+def test_plan_bit_identical_across_zoo(name, backend):
+    shape = bench_input_shape(name)
+    model = build_model(name, rng=np.random.default_rng(7))
+    for batch in (1, 8):
+        out, ref, plan = _compile_and_run(model, shape, batch, backend)
+        assert out.dtype == ref.dtype
+        assert out.shape == ref.shape
+        assert out.tobytes() == ref.tobytes(), (
+            f"{name} batch={batch} on {backend}: plan diverged from eager")
+        assert plan.stats.steps == len(plan.steps) > 0
+
+
+def test_plan_rejects_wrong_shape_and_dtype():
+    model = build_model("lenet", rng=np.random.default_rng(0))
+    plan = compile(model, (1, 16, 16), batch=2)
+    with pytest.raises(ValueError, match="input shape"):
+        plan(np.zeros((1, 1, 16, 16), dtype=plan.input_dtype))
+    with pytest.raises(ValueError, match="dtype"):
+        wrong = "float32" if plan.input_dtype == np.float64 else "float64"
+        plan(np.zeros((2, 1, 16, 16), dtype=wrong))
+
+
+def test_plan_accepts_tensor_input():
+    model = build_model("lenet", rng=np.random.default_rng(0))
+    plan = compile(model, (1, 16, 16), batch=1)
+    x = np.random.default_rng(1).standard_normal((1, 1, 16, 16))
+    x = x.astype(plan.input_dtype)
+    assert plan(Tensor(x.copy())).data.tobytes() == plan(x).data.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# Arena safety
+# --------------------------------------------------------------------------- #
+def test_two_plans_never_alias_buffers():
+    model = build_model("plain8", rng=np.random.default_rng(0))
+    plan_a = compile(model, (3, 32, 32), batch=2)
+    plan_b = compile(model, (3, 32, 32), batch=2)
+    ids_a = {id(b) for b in plan_a._arena._buffers}
+    ids_b = {id(b) for b in plan_b._arena._buffers}
+    assert ids_a and ids_b and not (ids_a & ids_b)
+
+    x = np.random.default_rng(3).standard_normal((2, 3, 32, 32))
+    x = x.astype(plan_a.input_dtype)
+    out_a = plan_a(x).data
+    out_b = plan_b(x).data
+    assert out_a.tobytes() == out_b.tobytes()
+
+
+def test_plan_calls_do_not_leak_state():
+    """Reused buffers must not carry one call's data into the next."""
+    model = build_model("plain8", rng=np.random.default_rng(0))
+    plan = compile(model, (3, 32, 32), batch=1)
+    rng = np.random.default_rng(4)
+    x1 = rng.standard_normal((1, 3, 32, 32)).astype(plan.input_dtype)
+    x2 = rng.standard_normal((1, 3, 32, 32)).astype(plan.input_dtype)
+    first = plan(x1).data.copy()
+    assert plan(x2).data.tobytes() != first.tobytes()
+    assert plan(x1).data.tobytes() == first.tobytes()
+
+
+def test_plan_output_is_a_copy():
+    model = build_model("lenet", rng=np.random.default_rng(0))
+    plan = compile(model, (1, 16, 16), batch=1)
+    x = np.zeros((1, 1, 16, 16), dtype=plan.input_dtype)
+    out = plan(x)
+    snapshot = out.data.copy()
+    plan(np.ones_like(x))  # overwrite arena buffers
+    assert out.data.tobytes() == snapshot.tobytes()
+
+
+def test_arena_reuse_beats_naive_allocation():
+    plan = compile(build_model("plain20", rng=np.random.default_rng(0)),
+                   (3, 32, 32), batch=2)
+    stats = plan.stats.arena
+    assert stats.peak_bytes == plan.peak_buffer_bytes > 0
+    assert stats.reuse_ratio > 1.5  # deep chains should recycle heavily
+
+
+# --------------------------------------------------------------------------- #
+# Streaming convolution under a memory budget
+# --------------------------------------------------------------------------- #
+def test_streaming_reduces_peak_memory():
+    model = build_model("resnet20", rng=np.random.default_rng(0))
+    full = compile(model, (3, 32, 32), batch=4)
+    tight = compile(model, (3, 32, 32), batch=4, memory_budget=200_000)
+    assert tight.stats.streamed_convs > 0
+    assert tight.peak_buffer_bytes < full.peak_buffer_bytes
+
+    x = np.random.default_rng(5).standard_normal((4, 3, 32, 32))
+    x = x.astype(full.input_dtype)
+    ref = full(x).data
+    np.testing.assert_allclose(tight(x).data, ref, rtol=1e-6, atol=1e-9)
+
+
+def test_band_plan_respects_budget_and_floor():
+    row = 10_000
+    assert band_plan(32, row, None) == 32
+    assert band_plan(32, row, 40_000) == 4
+    # floor: never stream below MIN_BAND_ROWS
+    assert band_plan(32, row, 1) == MIN_BAND_ROWS
+    bands = list(iter_bands(10, 4))
+    assert bands[0] == (0, 4) and bands[-1][1] == 10
+    assert sum(hi - lo for lo, hi in bands) == 10
+
+
+# --------------------------------------------------------------------------- #
+# Graph optimizations
+# --------------------------------------------------------------------------- #
+def test_dead_filter_elision_is_bit_exact():
+    rng = np.random.default_rng(11)
+    model = Sequential(
+        Conv2d(3, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2d(16, 8, 3, padding=1, rng=rng),
+    )
+    model.layer0.weight.data[4:12] = 0.0
+    model.layer0.bias.data[4:12] = 0.0
+    shape = (3, 16, 16)
+    out, ref, plan = _compile_and_run(model, shape, 2, "numpy")
+    assert plan.stats.elided_filters == 8
+    assert out.tobytes() == ref.tobytes()
+    # and disabling the pass changes nothing numerically
+    out2, ref2, plan2 = _compile_and_run(model, shape, 2, "numpy",
+                                         elide_dead=False)
+    assert plan2.stats.elided_filters == 0
+    assert out2.tobytes() == ref.tobytes()
+
+
+def test_fold_bn_shrinks_plan_and_stays_close():
+    model = build_model("resnet20", rng=np.random.default_rng(0))
+    plain = compile(model, (3, 32, 32), batch=2)
+    folded = compile(model, (3, 32, 32), batch=2, fold_bn=True)
+    assert folded.stats.folded_ops > 0
+    assert folded.stats.steps < plain.stats.steps
+
+    x = np.random.default_rng(6).standard_normal((2, 3, 32, 32))
+    x = x.astype(plain.input_dtype)
+    # folding re-associates the BN affine into the conv weights, so the
+    # tolerance scales with the working precision
+    rtol = 1e-4 if plain.input_dtype == np.float32 else 1e-6
+    np.testing.assert_allclose(folded(x).data, plain(x).data,
+                               rtol=rtol, atol=rtol * 1e-2)
+
+
+def test_bn_freeze_makes_plan_static():
+    """Inference-mode BN statistics are frozen into plan constants."""
+    model = Sequential(Conv2d(3, 4, 3, rng=np.random.default_rng(0)),
+                       BatchNorm2d(4), ReLU())
+    out, ref, plan = _compile_and_run(model, (3, 8, 8), 1, "numpy")
+    assert out.tobytes() == ref.tobytes()
+    assert plan.stats.frozen_consts > 0
+
+
+def test_compressed_conv_lowers_to_two_fused_steps():
+    rng = np.random.default_rng(2)
+    block = CompressedConv2d(
+        code_weight=rng.standard_normal((6, 3, 3, 3)),
+        expansion_weight=rng.standard_normal((10, 6, 1, 1)),
+        stride=1, padding=1, bias=rng.standard_normal(10),
+        sigma_inter="relu",
+    )
+    out, ref, plan = _compile_and_run(block, (3, 12, 12), 2, "numpy")
+    conv_steps = [s for s in plan.steps if s.op_name == "conv2d"]
+    assert len(conv_steps) == 2
+    assert conv_steps[0].activation == "relu"
+    assert conv_steps[1].activation is None
+    assert out.tobytes() == ref.tobytes()
+
+
+def test_compression_result_compile():
+    rng = np.random.default_rng(0)
+    model = Sequential(
+        ALFConv2d(1, 8, 3, config=ALFConfig(), padding=1, rng=rng),
+        ReLU(),
+    )
+    result = compress_model(model)
+    plan = result.compile((1, 10, 10), batch=2)
+    x = rng.standard_normal((2, 1, 10, 10)).astype(plan.input_dtype)
+    assert plan(x).data.tobytes() == _eager(result.model, x).tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# Profiler integration
+# --------------------------------------------------------------------------- #
+def test_profile_inference_attributes_plan_steps_to_layers():
+    model = build_model("lenet", rng=np.random.default_rng(0))
+    plan = compile(model, (1, 16, 16), batch=2)
+    profile = profile_inference(plan, (1, 16, 16))
+    assert profile.total_calls == plan.stats.steps
+    layers = profile.layers
+    # plan steps carry the module dot-paths the eager profiler would use
+    eager = profile_inference(model, (1, 16, 16), batch=2)
+    assert set(layers) <= set(eager.layers) | {""}
+    assert any(name for name in layers if name)
+
+
+def test_profile_inference_rejects_mismatched_plan_shape():
+    model = build_model("lenet", rng=np.random.default_rng(0))
+    plan = compile(model, (1, 16, 16), batch=1)
+    with pytest.raises(ValueError, match="compiled for input shape"):
+        profile_inference(plan, (1, 8, 8))
+
+
+# --------------------------------------------------------------------------- #
+# Satellite regression: pooling routes through the backend
+# --------------------------------------------------------------------------- #
+class _CountingBackend(NumpyBackend):
+    """NumpyBackend that counts which protocol methods get exercised."""
+
+    name = "counting"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = {}
+
+    def _bump(self, key):
+        self.calls[key] = self.calls.get(key, 0) + 1
+
+    def im2col(self, *args, **kwargs):
+        self._bump("im2col")
+        return super().im2col(*args, **kwargs)
+
+    def take_along_axis(self, *args, **kwargs):
+        self._bump("take_along_axis")
+        return super().take_along_axis(*args, **kwargs)
+
+    def put_along_axis(self, *args, **kwargs):
+        self._bump("put_along_axis")
+        return super().put_along_axis(*args, **kwargs)
+
+    def broadcast_to(self, *args, **kwargs):
+        self._bump("broadcast_to")
+        return super().broadcast_to(*args, **kwargs)
+
+    def zeros(self, *args, **kwargs):
+        self._bump("zeros")
+        return super().zeros(*args, **kwargs)
+
+
+def test_pooling_routes_through_backend():
+    backend = _CountingBackend()
+    rng = np.random.default_rng(0)
+    model = Sequential(MaxPool2d(2), Conv2d(3, 4, 3, rng=rng))
+    with use_backend(backend):
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)), requires_grad=True)
+        y = model(x)
+        from repro.nn.functional import avg_pool2d
+        z = avg_pool2d(y, 2)
+        z.sum().backward()
+    # forward max-pool: im2col + take_along_axis; backward: zeros + put_along_axis
+    assert backend.calls.get("im2col", 0) >= 2
+    assert backend.calls.get("take_along_axis", 0) >= 1
+    assert backend.calls.get("put_along_axis", 0) >= 1
+    # avg-pool backward spreads grads via broadcast_to
+    assert backend.calls.get("broadcast_to", 0) >= 1
+
+
+# --------------------------------------------------------------------------- #
+# API entry point
+# --------------------------------------------------------------------------- #
+def test_api_compile_report_round_trip():
+    from repro.api import compile_report, compress
+
+    report = compress("lenet", method="alf", hardware_batch=2, hardware=None)
+    plan = report.plan()
+    assert plan.batch == 2
+    assert plan.input_shape == (1, 16, 16)
+    x = np.random.default_rng(9).standard_normal((2, 1, 16, 16))
+    x = x.astype(plan.input_dtype)
+    assert plan(x).data.tobytes() == _eager(report.model, x).tobytes()
+
+    small = compile_report(report, batch=1)
+    assert small.batch == 1
+
+
+def test_api_compile_report_honors_spec_dtype():
+    from repro.api import compress
+
+    report = compress("lenet", method="alf", hardware_batch=1,
+                      dtype="float32", hardware=None)
+    assert report.plan().input_dtype == np.float32
+
+
+# --------------------------------------------------------------------------- #
+# Step specialization coverage
+# --------------------------------------------------------------------------- #
+def test_linear_head_lowers_to_specialized_matmul():
+    # lenet covers conv -> flatten -> linear; the dense head must lower to
+    # a specialized (out=) matmul step rather than a generic fallback.
+    plan = compile(build_model("lenet", rng=np.random.default_rng(0)),
+                   (1, 16, 16), batch=2)
+    assert plan.stats.step_counts.get("matmul", 0) >= 1
+    assert plan.stats.specialized > plan.stats.generic
