@@ -9,15 +9,20 @@ The deploy subsystem's acceptance criteria:
 * ``streaming_peak_ratio`` — the row-banded convolution path under a
   ``memory_budget`` must shrink the arena's preallocated peak on a deep
   model (< 1.0 means smaller than the unbudgeted plan).
+* ``load_vs_compile_speedup`` — deserializing a saved ``repro-plan/1``
+  payload must be cheaper than re-tracing and re-compiling the model
+  (that is the point of the plan store), and the loaded plan's forward
+  must stay bit-identical to the original's.
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 import numpy as np
 
-from repro.deploy import compile as compile_plan
+from repro.deploy import InferencePlan, compile as compile_plan
 from repro.models import build_model
 from repro.nn.tensor import Tensor, no_grad
 
@@ -75,7 +80,21 @@ def _plan_vs_module():
     tight = compile_plan(stream_model, INPUT_SHAPE, batch=STREAM_BATCH,
                          memory_budget=STREAM_BUDGET)
 
+    # Serialization: loading the wire form vs recompiling from the model.
+    payload_text = json.dumps(plan.to_dict())
+    loaded = InferencePlan.from_dict(json.loads(payload_text))
+    assert loaded(xp).data.tobytes() == ref.tobytes(), (
+        "loaded plan diverged from eager")
+    compile_seconds = _median_seconds(
+        lambda: compile_plan(model, INPUT_SHAPE, batch=BATCH), rounds=3)
+    load_seconds = _median_seconds(
+        lambda: InferencePlan.from_dict(json.loads(payload_text)), rounds=3)
+
     return {
+        "compile_seconds": compile_seconds,
+        "load_seconds": load_seconds,
+        "load_vs_compile_speedup": compile_seconds / load_seconds,
+        "plan_payload_bytes": len(payload_text),
         "eager_seconds": eager_seconds,
         "plan_seconds": plan_seconds,
         "plan_speedup": eager_seconds / plan_seconds,
@@ -103,6 +122,10 @@ def test_bench_plan_forward(benchmark, once, metric):
           f" {result['streaming_peak_buffer_bytes'] / 1e6:.2f} MB"
           f" ({result['streaming_peak_ratio']:.2f}x,"
           f" {result['streamed_convs']} streamed convs)")
+    print(f"serialization: compile {result['compile_seconds'] * 1e3:.1f} ms"
+          f" vs load {result['load_seconds'] * 1e3:.1f} ms"
+          f" ({result['load_vs_compile_speedup']:.2f}x,"
+          f" {result['plan_payload_bytes'] / 1e6:.2f} MB payload)")
 
     metric("plan_speedup", round(result["plan_speedup"], 3))
     metric("eager_seconds", round(result["eager_seconds"], 6))
@@ -113,6 +136,11 @@ def test_bench_plan_forward(benchmark, once, metric):
            int(result["streaming_peak_buffer_bytes"]))
     metric("streaming_peak_ratio", round(result["streaming_peak_ratio"], 3))
     metric("streamed_convs", int(result["streamed_convs"]))
+    metric("compile_seconds", round(result["compile_seconds"], 6))
+    metric("load_seconds", round(result["load_seconds"], 6))
+    metric("load_vs_compile_speedup",
+           round(result["load_vs_compile_speedup"], 3))
+    metric("plan_payload_bytes", int(result["plan_payload_bytes"]))
 
     assert result["plan_speedup"] >= 1.0, (
         "compiled plan slower than eager forward")

@@ -123,6 +123,9 @@ from .jobs import (
     RemoteWorkerError,
     SweepJob,
     execute_job,
+    execute_plan_job,
+    plan_job_payload,
+    run_plan_remote,
     worker_main,
 )
 from .session import (
@@ -143,7 +146,7 @@ from .pipeline import (
     compress,
     resolve_loaders,
 )
-from .plan import compile_report
+from .plan import PLAN_ADDRESS_KIND, compile_report, plan_address
 from .protocol import CompressedModel, CompressionMethod
 from .registry import (
     MethodEntry,
@@ -177,7 +180,7 @@ __all__ = [
     # façade
     "compress", "run_sweep", "CompressionPipeline", "CompressionReport",
     "SweepResult", "SweepFailure", "DenseBaseline", "table2_specs",
-    "resolve_loaders", "compile_report",
+    "resolve_loaders", "compile_report", "plan_address", "PLAN_ADDRESS_KIND",
     # sessions
     "SweepSession", "SweepFuture", "RetryPolicy", "SessionEvent",
     "SweepTimeoutError", "SweepCancelledError", "ShardTask",
@@ -185,6 +188,7 @@ __all__ = [
     # wire protocol / remote workers
     "SweepJob", "RemoteExecutor", "RemoteJobError", "RemoteWorkerError",
     "LoaderPlan", "execute_job", "worker_main",
+    "plan_job_payload", "execute_plan_job", "run_plan_remote",
     "JOB_SCHEMA", "JOB_RESULT_SCHEMA", "FAILURE_SCHEMA",
     # result cache + digests
     "ReportCache", "FileReportCache", "MemoryReportCache", "CacheKey",

@@ -22,6 +22,10 @@ submission arrives again:
   the same (method, model, data) whose spec payload is *closest* to a new
   near-miss submission, so its checkpoint can seed fine-tuning instead of
   training from dense.
+* Plan artifacts — :meth:`ReportCache.put_plan` / :meth:`get_plan` store
+  serialized ``repro-plan/1`` compiled-inference payloads next to the
+  checkpoints, so :func:`~repro.api.plan.compile_report` can serve a plan
+  from the store instead of re-tracing and re-lowering the model.
 
 :class:`~repro.api.session.SweepSession` consults the store through the
 ``cache=`` policy knob (``"off"`` / ``"read"`` / ``"write"`` /
@@ -137,6 +141,7 @@ class CacheStats:
 
     entries: int = 0
     checkpoints: int = 0
+    plans: int = 0
     total_bytes: int = 0
     hits: int = 0
     misses: int = 0
@@ -144,8 +149,9 @@ class CacheStats:
 
     def to_dict(self) -> Dict[str, int]:
         return {"entries": self.entries, "checkpoints": self.checkpoints,
-                "total_bytes": self.total_bytes, "hits": self.hits,
-                "misses": self.misses, "writes": self.writes}
+                "plans": self.plans, "total_bytes": self.total_bytes,
+                "hits": self.hits, "misses": self.misses,
+                "writes": self.writes}
 
 
 # --------------------------------------------------------------------------- #
@@ -226,15 +232,35 @@ class ReportCache:
         raise NotImplementedError
 
     def _keys(self) -> List[str]:
-        """Combined keys of every stored entry, oldest first."""
+        """Combined keys of every stored entry (no particular order).
+
+        Recency does **not** live here: filesystem mtimes are too coarse
+        (1 s on some filesystems) to order same-second writes, so age is
+        tracked by the monotonic ``seq`` number persisted inside each
+        entry — see :meth:`_lru_keys`.
+        """
         raise NotImplementedError
 
     def _remove(self, combined: str) -> None:
         """Drop one entry and its checkpoint (missing entries are fine)."""
         raise NotImplementedError
 
-    def _content_stats(self) -> Tuple[int, int, int]:
-        """(entries, checkpoints, total_bytes) of the stored content."""
+    def _read_plan(self, address: str) -> Optional[str]:
+        """The raw JSON text of one stored plan artifact, or ``None``."""
+        raise NotImplementedError
+
+    def _write_plan(self, address: str, text: str) -> None:
+        raise NotImplementedError
+
+    def _plan_keys(self) -> List[str]:
+        """Addresses of every stored plan artifact."""
+        raise NotImplementedError
+
+    def _remove_plan(self, address: str) -> None:
+        raise NotImplementedError
+
+    def _content_stats(self) -> Tuple[int, int, int, int]:
+        """(entries, checkpoints, plans, total_bytes) of the stored content."""
         raise NotImplementedError
 
     # -- entry codec ------------------------------------------------------ #
@@ -277,6 +303,38 @@ class ReportCache:
             f"treated as a miss: {error}", CacheIntegrityWarning,
             stacklevel=3)
 
+    # -- recency ----------------------------------------------------------- #
+    def _entry_seq(self, combined: str) -> int:
+        """The persisted ``seq`` of one entry; ``-1`` for damaged/legacy."""
+        text = self._read_entry(combined)
+        if text is None:
+            return -1
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return -1
+        seq = payload.get("seq") if isinstance(payload, dict) else None
+        return seq if isinstance(seq, int) and not isinstance(seq, bool) else -1
+
+    def _next_seq(self) -> int:
+        """One more than the highest ``seq`` stored anywhere in this store."""
+        highest = -1
+        for combined in self._keys():
+            highest = max(highest, self._entry_seq(combined))
+        return highest + 1
+
+    def _lru_keys(self) -> List[str]:
+        """Combined keys, least recently used first.
+
+        Ordered by the persisted ``seq`` (written on :meth:`put`, refreshed
+        on every :meth:`get` hit) with the combined digest as a
+        deterministic tie-break; legacy entries without a ``seq`` sort
+        first and are evicted before anything stamped.
+        """
+        return sorted(self._keys(),
+                      key=lambda combined: (self._entry_seq(combined),
+                                            combined))
+
     # -- public API -------------------------------------------------------- #
     def get(self, key: CacheKey) -> Optional[CompressionReport]:
         """The stored report for ``key``, or ``None`` (miss) — never raises."""
@@ -292,6 +350,14 @@ class ReportCache:
             with self._lock:
                 self._misses += 1
             return None
+        try:
+            # Touch: refresh the entry's seq so gc eviction is genuinely
+            # least-recently-*used*, not write-order.  Best effort — a
+            # read-only store must not turn a hit into a crash.
+            entry["seq"] = self._next_seq()
+            self._write_entry(key.combined, json.dumps(entry, sort_keys=True))
+        except Exception:
+            pass
         with self._lock:
             self._hits += 1
         return report
@@ -319,6 +385,7 @@ class ReportCache:
         if checkpoint is not None:
             self._write_state(key.combined, checkpoint)
         entry = self._encode(key, report, checkpoint is not None, warm_source)
+        entry["seq"] = self._next_seq()
         self._write_entry(key.combined,
                           json.dumps(entry, sort_keys=True))
         with self._lock:
@@ -341,7 +408,10 @@ class ReportCache:
         (a checkpoint from another model or data recipe cannot seed this
         run), must not *be* the queried key, and must actually carry a
         checkpoint.  Among those, the entry whose stored spec payload has
-        the smallest :func:`spec_distance` to ``spec_payload`` wins.
+        the smallest :func:`spec_distance` to ``spec_payload`` wins;
+        distance ties break on the combined digest, so the winner is a
+        deterministic function of the store *contents* rather than of
+        write order or filesystem timestamps.
         """
         best: Optional[Tuple[float, str, Dict[str, Any]]] = None
         for combined in self._keys():
@@ -361,7 +431,7 @@ class ReportCache:
                     or not entry.get("checkpoint")):
                 continue
             distance = spec_distance(spec_payload, entry.get("spec") or {})
-            if best is None or distance < best[0]:
+            if best is None or (distance, combined) < (best[0], best[1]):
                 best = (distance, combined, entry)
         if best is None:
             return None
@@ -377,26 +447,82 @@ class ReportCache:
                          spec=CompressionSpec.from_dict(entry["spec"]),
                          state=state)
 
+    # -- plan artifacts ----------------------------------------------------- #
+    def get_plan(self, address: str) -> Optional[Dict[str, Any]]:
+        """The stored ``repro-plan/1`` payload at ``address`` — never raises.
+
+        Validation mirrors :meth:`get`: unreadable JSON, a non-plan schema
+        or a payload-digest mismatch is a :class:`CacheIntegrityWarning`
+        plus a miss, so a corrupt artifact can only cost a recompile.
+        """
+        text = self._read_plan(address)
+        if text is None:
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            self._warn(address, CacheEntryError(
+                f"unreadable plan JSON ({exc})"))
+            with self._lock:
+                self._misses += 1
+            return None
+        schema = payload.get("schema") if isinstance(payload, dict) else None
+        if not (isinstance(schema, str) and schema.startswith("repro-plan/")):
+            self._warn(address, CacheEntryError(
+                f"unsupported plan schema {schema!r}"))
+            with self._lock:
+                self._misses += 1
+            return None
+        body = {k: v for k, v in payload.items() if k != "digest"}
+        if payload.get("digest") != payload_digest(body):
+            self._warn(address, CacheEntryError(
+                "plan payload digest mismatch: the stored artifact was "
+                "corrupted"))
+            with self._lock:
+                self._misses += 1
+            return None
+        with self._lock:
+            self._hits += 1
+        return payload
+
+    def put_plan(self, address: str, payload: Mapping[str, Any]) -> None:
+        """Store one serialized plan payload under ``address``."""
+        if not isinstance(payload, Mapping):
+            raise TypeError(
+                f"plan payload must be a mapping, got {type(payload).__name__}")
+        self._write_plan(address, json.dumps(dict(payload), sort_keys=True))
+        with self._lock:
+            self._writes += 1
+
     # -- maintenance ------------------------------------------------------- #
     def stats(self) -> CacheStats:
-        entries, checkpoints, total_bytes = self._content_stats()
+        entries, checkpoints, plans, total_bytes = self._content_stats()
         with self._lock:
             return CacheStats(entries=entries, checkpoints=checkpoints,
-                              total_bytes=total_bytes, hits=self._hits,
-                              misses=self._misses, writes=self._writes)
+                              plans=plans, total_bytes=total_bytes,
+                              hits=self._hits, misses=self._misses,
+                              writes=self._writes)
 
     def gc(self, max_entries: Optional[int] = None,
            clear: bool = False) -> int:
-        """Evict entries (oldest first) down to ``max_entries``; count removed.
+        """Evict entries (least recently used first) down to ``max_entries``.
 
-        ``clear=True`` empties the store.  Checkpoints are removed with
-        their entries.
+        Recency is the persisted per-entry ``seq``, not filesystem mtime —
+        a :meth:`get` hit protects an entry from eviction, and same-second
+        writes still evict in a deterministic order.  ``clear=True``
+        empties the store, plan artifacts included.  Checkpoints are
+        removed with their entries.  Returns the number of entries
+        removed.
         """
         if max_entries is not None and max_entries < 0:
             raise ValueError("max_entries must be non-negative")
-        keys = self._keys()
+        keys = self._lru_keys()
         if clear:
             doomed = keys
+            for address in self._plan_keys():
+                self._remove_plan(address)
         elif max_entries is not None and len(keys) > max_entries:
             doomed = keys[:len(keys) - max_entries]
         else:
@@ -424,6 +550,7 @@ class MemoryReportCache(ReportCache):
         super().__init__()
         self._entries: "Dict[str, str]" = {}
         self._states: Dict[str, Dict[str, np.ndarray]] = {}
+        self._plans: "Dict[str, str]" = {}
 
     def _read_entry(self, combined: str) -> Optional[str]:
         with self._lock:
@@ -431,9 +558,6 @@ class MemoryReportCache(ReportCache):
 
     def _write_entry(self, combined: str, text: str) -> None:
         with self._lock:
-            # dicts preserve insertion order == write order (oldest first);
-            # an overwrite refreshes the entry's age.
-            self._entries.pop(combined, None)
             self._entries[combined] = text
 
     def _read_state(self, combined: str) -> Optional[Dict[str, np.ndarray]]:
@@ -457,13 +581,30 @@ class MemoryReportCache(ReportCache):
             self._entries.pop(combined, None)
             self._states.pop(combined, None)
 
-    def _content_stats(self) -> Tuple[int, int, int]:
+    def _read_plan(self, address: str) -> Optional[str]:
+        with self._lock:
+            return self._plans.get(address)
+
+    def _write_plan(self, address: str, text: str) -> None:
+        with self._lock:
+            self._plans[address] = text
+
+    def _plan_keys(self) -> List[str]:
+        with self._lock:
+            return list(self._plans)
+
+    def _remove_plan(self, address: str) -> None:
+        with self._lock:
+            self._plans.pop(address, None)
+
+    def _content_stats(self) -> Tuple[int, int, int, int]:
         with self._lock:
             text_bytes = sum(len(text) for text in self._entries.values())
             state_bytes = sum(array.nbytes for state in self._states.values()
                               for array in state.values())
-            return (len(self._entries), len(self._states),
-                    text_bytes + state_bytes)
+            plan_bytes = sum(len(text) for text in self._plans.values())
+            return (len(self._entries), len(self._states), len(self._plans),
+                    text_bytes + state_bytes + plan_bytes)
 
 
 # --------------------------------------------------------------------------- #
@@ -476,6 +617,7 @@ class FileReportCache(ReportCache):
 
         <root>/entries/<combined>.json       repro-cache-entry/1 payloads
         <root>/checkpoints/<combined>.npz    finalized model parameters
+        <root>/plans/<address>.json          repro-plan/1 compiled plans
 
     Both artifact kinds are written atomically (temp file + ``os.replace``)
     so concurrent sessions — or a crash mid-write — can never leave a
@@ -488,6 +630,7 @@ class FileReportCache(ReportCache):
         self.root = os.path.abspath(os.fspath(root))
         self._entries_dir = os.path.join(self.root, "entries")
         self._states_dir = os.path.join(self.root, "checkpoints")
+        self._plans_dir = os.path.join(self.root, "plans")
 
     # -- paths ------------------------------------------------------------- #
     def _entry_path(self, combined: str) -> str:
@@ -495,6 +638,9 @@ class FileReportCache(ReportCache):
 
     def _state_path(self, combined: str) -> str:
         return os.path.join(self._states_dir, f"{combined}.npz")
+
+    def _plan_path(self, address: str) -> str:
+        return os.path.join(self._plans_dir, f"{address}.json")
 
     @staticmethod
     def _atomic_write(path: str, writer) -> None:
@@ -542,23 +688,22 @@ class FileReportCache(ReportCache):
         self._atomic_write(self._state_path(combined),
                            lambda stream: np.savez(stream, **arrays))
 
-    def _keys(self) -> List[str]:
+    @staticmethod
+    def _listing(directory: str, suffix: str) -> List[str]:
         try:
-            names = os.listdir(self._entries_dir)
+            names = os.listdir(directory)
         except (FileNotFoundError, NotADirectoryError):
             return []
-        entries = []
-        for name in names:
-            if not name.endswith(".json") or name.startswith("."):
-                continue
-            path = os.path.join(self._entries_dir, name)
-            try:
-                mtime = os.path.getmtime(path)
-            except OSError:
-                continue
-            entries.append((mtime, name[:-len(".json")]))
-        entries.sort()
-        return [combined for _, combined in entries]
+        # Sorted filenames, not mtimes: getmtime is 1 s-coarse on some
+        # filesystems, so mtime order for same-second writes was really
+        # digest-alphabetical — and never "least recently used" anyway,
+        # since reads don't bump mtime.  Recency lives in the entry's
+        # persisted seq (see ReportCache._lru_keys).
+        return sorted(name[:-len(suffix)] for name in names
+                      if name.endswith(suffix) and not name.startswith("."))
+
+    def _keys(self) -> List[str]:
+        return self._listing(self._entries_dir, ".json")
 
     def _remove(self, combined: str) -> None:
         for path in (self._entry_path(combined), self._state_path(combined)):
@@ -567,10 +712,34 @@ class FileReportCache(ReportCache):
             except OSError:
                 pass
 
-    def _content_stats(self) -> Tuple[int, int, int]:
-        entries = checkpoints = total_bytes = 0
+    def _read_plan(self, address: str) -> Optional[str]:
+        try:
+            with open(self._plan_path(address), "r", encoding="utf-8") as f:
+                return f.read()
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except OSError as exc:
+            self._warn(address, exc)
+            return None
+
+    def _write_plan(self, address: str, text: str) -> None:
+        self._atomic_write(self._plan_path(address),
+                           lambda stream: stream.write(text.encode("utf-8")))
+
+    def _plan_keys(self) -> List[str]:
+        return self._listing(self._plans_dir, ".json")
+
+    def _remove_plan(self, address: str) -> None:
+        try:
+            os.unlink(self._plan_path(address))
+        except OSError:
+            pass
+
+    def _content_stats(self) -> Tuple[int, int, int, int]:
+        entries = checkpoints = plans = total_bytes = 0
         for directory, suffix in ((self._entries_dir, ".json"),
-                                  (self._states_dir, ".npz")):
+                                  (self._states_dir, ".npz"),
+                                  (self._plans_dir, ".json")):
             try:
                 names = os.listdir(directory)
             except (FileNotFoundError, NotADirectoryError):
@@ -582,11 +751,13 @@ class FileReportCache(ReportCache):
                     total_bytes += os.path.getsize(os.path.join(directory, name))
                 except OSError:
                     continue
-                if suffix == ".json":
+                if directory is self._entries_dir:
                     entries += 1
-                else:
+                elif directory is self._states_dir:
                     checkpoints += 1
-        return entries, checkpoints, total_bytes
+                else:
+                    plans += 1
+        return entries, checkpoints, plans, total_bytes
 
 
 # --------------------------------------------------------------------------- #
@@ -655,7 +826,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "~/.cache/repro)")
     commands = parser.add_subparsers(dest="command", required=True)
     commands.add_parser("stats", help="print entry / checkpoint / byte counts")
-    gc_parser = commands.add_parser("gc", help="evict entries (oldest first)")
+    gc_parser = commands.add_parser(
+        "gc", help="evict entries (least recently used first)")
     gc_parser.add_argument("--max-entries", type=int, default=None,
                            help="keep at most this many entries")
     gc_parser.add_argument("--clear", action="store_true",
@@ -667,7 +839,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         stats = store.stats()
         print(json.dumps({"root": store.root,
                           **{k: v for k, v in stats.to_dict().items()
-                             if k in ("entries", "checkpoints", "total_bytes")}},
+                             if k in ("entries", "checkpoints", "plans",
+                                      "total_bytes")}},
                          indent=2, sort_keys=True))
         return 0
     if args.command == "gc" and not args.clear and args.max_entries is None:

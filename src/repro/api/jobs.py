@@ -16,6 +16,12 @@ Two result schemas complete the protocol:
   ``repro-report/1`` payload or ``ok: false`` with the error's type and
   message.
 
+Jobs may also carry a serialized **compiled plan** instead of a spec:
+:func:`plan_job_payload` ships a ``repro-plan/1`` payload plus one input
+batch, the worker executes it via :func:`execute_plan_job`, and the
+result frame returns the output array — bit-identical to the sender's
+local forward (see :func:`run_plan_remote`).
+
 :class:`RemoteExecutor` (registered as ``"remote"``) is the reference
 transport: a pool of worker subprocesses (``python -m repro.api.worker``)
 speaking exactly one JSON line per job over stdin/stdout.  It exists to
@@ -326,6 +332,34 @@ def execute_job(job: SweepJob) -> CompressionReport:
 
 
 # --------------------------------------------------------------------------- #
+# Compiled-plan jobs: ship a serialized plan instead of a spec
+# --------------------------------------------------------------------------- #
+def plan_job_payload(plan: Any, x: Any, job_id: int = 0) -> Dict[str, Any]:
+    """One ``repro-job/1`` payload carrying a compiled plan and its input.
+
+    ``plan`` is an :class:`~repro.deploy.InferencePlan` or its serialized
+    ``repro-plan/1`` mapping; ``x`` the input batch.  A worker receiving
+    this executes the plan on the shipped input and returns the output
+    array — bit-identically to the sender's local forward, since the plan
+    wire form round-trips exactly (weights travel as base64-npy with
+    their memory layout preserved).
+    """
+    plan_payload = dict(plan) if isinstance(plan, Mapping) else plan.to_dict()
+    return {"schema": JOB_SCHEMA, "job_id": int(job_id),
+            "plan": plan_payload,
+            "plan_input": array_to_payload(np.asarray(x))}
+
+
+def execute_plan_job(message: Mapping[str, Any]) -> np.ndarray:
+    """Deserialize and run one shipped plan — the worker-side half."""
+    from ..deploy import InferencePlan
+
+    plan = InferencePlan.from_dict(message["plan"])
+    out = plan(array_from_payload(message["plan_input"]))
+    return np.asarray(getattr(out, "data", out))
+
+
+# --------------------------------------------------------------------------- #
 # Worker loop (the subprocess side of the stdio transport)
 # --------------------------------------------------------------------------- #
 def job_result_payload(job_id: int, report: Optional[CompressionReport] = None,
@@ -365,8 +399,14 @@ def worker_main(stdin: Optional[IO[str]] = None,
             break
         job_id = message.get("job_id", -1)
         try:
-            report = execute_job(SweepJob.from_dict(message))
-            payload = job_result_payload(job_id, report=report)
+            if message.get("plan") is not None:
+                output = execute_plan_job(message)
+                payload = {"schema": JOB_RESULT_SCHEMA,
+                           "job_id": int(job_id), "ok": True,
+                           "output": array_to_payload(output)}
+            else:
+                report = execute_job(SweepJob.from_dict(message))
+                payload = job_result_payload(job_id, report=report)
         except Exception as exc:  # job failures are protocol data, not crashes
             payload = job_result_payload(job_id, error=exc)
         proto_out.write(json.dumps(payload) + "\n")
@@ -448,6 +488,26 @@ class _WorkerProcess:
             if self.alive():
                 self.process.kill()
                 self.process.wait()
+
+
+def run_plan_remote(plan: Any, x: Any) -> np.ndarray:
+    """Ship ``plan`` and ``x`` to a fresh worker subprocess; return its output.
+
+    The reference transport for plan shipping: a worker that never saw the
+    model (or this process's memory) reproduces the local forward bit for
+    bit from the ``repro-plan/1`` wire form alone.  Raises
+    :class:`RemoteJobError` when the worker reports a failure.
+    """
+    worker = _WorkerProcess()
+    try:
+        result = worker.roundtrip(plan_job_payload(plan, x))
+    finally:
+        worker.close()
+    if not result.get("ok"):
+        error = result.get("error") or {}
+        raise RemoteJobError(error.get("type", "Error"),
+                             error.get("message", "plan job failed"))
+    return array_from_payload(result["output"])
 
 
 class _RemoteShardPool(ShardPool):

@@ -173,17 +173,19 @@ class CompressionReport:
     # -- deployment ----------------------------------------------------- #
     def plan(self, *, batch: Optional[int] = None,
              memory_budget: Optional[int] = None, fold_bn: bool = False,
-             elide_dead: bool = True, backend=None):
+             elide_dead: bool = True, backend=None, cache=None):
         """Compile the compressed model into a static inference plan.
 
         Delegates to :func:`repro.api.compile_report`: the spec's input
         shape, hardware batch and backend / dtype scope become the plan's
-        compile-time geometry unless overridden here.
+        compile-time geometry unless overridden here.  ``cache=`` accepts
+        the session cache knob and serves / stores the serialized plan
+        through the content-addressed store.
         """
         from .plan import compile_report
         return compile_report(self, batch=batch, memory_budget=memory_budget,
                               fold_bn=fold_bn, elide_dead=elide_dead,
-                              backend=backend)
+                              backend=backend, cache=cache)
 
     # -- views ---------------------------------------------------------- #
     def as_method_result(self) -> MethodResult:

@@ -434,6 +434,26 @@ class SweepSession:
         with self._cond:
             return list(self._futures)
 
+    def plan(self, report: CompressionReport, *,
+             batch: Optional[int] = None,
+             memory_budget: Optional[int] = None, fold_bn: bool = False,
+             elide_dead: bool = True, backend=None):
+        """Compile ``report`` into an inference plan through this session.
+
+        Same surface as :meth:`CompressionReport.plan`, but routed through
+        the session's cache knob: with a readable policy the serialized
+        ``repro-plan/1`` artifact is served from the store instead of
+        recompiling, and with a writable policy fresh plans are stored for
+        later sessions.
+        """
+        from .plan import compile_report
+        cache = (None if self._cache is None
+                 else (self._cache, self._cache_policy))
+        return compile_report(report, batch=batch,
+                              memory_budget=memory_budget, fold_bn=fold_bn,
+                              elide_dead=elide_dead, backend=backend,
+                              cache=cache)
+
     # -- progress events -------------------------------------------------- #
     def add_progress_callback(self, fn: Callable[[SessionEvent], None]) -> None:
         """Observe scheduling milestones of every future in this session.

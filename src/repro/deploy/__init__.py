@@ -7,14 +7,24 @@ buffers, with constant freezing, optional BatchNorm folding, dead-filter
 elision, activation fusion and (under ``memory_budget=``) row-band
 streaming of oversized im2col convolutions.  Default-option plans are
 bit-identical to the eager ``model(x)`` under ``no_grad()``.
+
+Plans also have a wire form: ``plan.save()``/``InferencePlan.load()``
+round-trip the versioned ``repro-plan/1`` payload (steps, arena layout,
+weights digest) bit-identically, and ``plan.bind(batch=...)`` re-derives
+the buffer layout for another batch size from the same symbolic-batch
+program without re-tracing the model.
 """
 
 from .arena import ArenaStats, BufferArena, BufferRef
 from .plan import InferencePlan, PlanStats, compile
-from .tiling import MIN_BAND_ROWS, StreamedConv, band_plan, iter_bands
+from .serialize import PLAN_SCHEMA, load_plan, save_plan
+from .tiling import MIN_BAND_ROWS, StreamedConv, band_overrun, band_plan, \
+    iter_bands
 
 __all__ = [
     "compile", "InferencePlan", "PlanStats",
+    "PLAN_SCHEMA", "save_plan", "load_plan",
     "BufferArena", "BufferRef", "ArenaStats",
-    "StreamedConv", "band_plan", "iter_bands", "MIN_BAND_ROWS",
+    "StreamedConv", "band_plan", "band_overrun", "iter_bands",
+    "MIN_BAND_ROWS",
 ]

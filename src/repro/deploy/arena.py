@@ -73,6 +73,11 @@ class BufferArena:
     def __init__(self):
         self._capacities: List[int] = []
         self._free: List[int] = []
+        # Identity of the BufferRef currently owning each reserved buffer:
+        # release() only honours the exact handle reserve() returned, so a
+        # stale ref (whose buffer was recycled to a newer value in between)
+        # can never push a live buffer back into the free pool.
+        self._owners: Dict[int, BufferRef] = {}
         self._buffers: Optional[List[np.ndarray]] = None
         self._views: Dict[BufferRef, np.ndarray] = {}
         self._dedicated_bytes = 0
@@ -97,16 +102,32 @@ class BufferArena:
                 best = index
         if best >= 0:
             self._free.remove(best)
-            return BufferRef(best, tuple(shape), ref_dtype)
-        self._capacities.append(nbytes)
-        return BufferRef(len(self._capacities) - 1, tuple(shape), ref_dtype)
+            ref = BufferRef(best, tuple(shape), ref_dtype)
+        else:
+            self._capacities.append(nbytes)
+            ref = BufferRef(len(self._capacities) - 1, tuple(shape), ref_dtype)
+        self._owners[ref.buffer] = ref
+        return ref
 
     def release(self, ref: BufferRef) -> None:
-        """Return ``ref``'s buffer to the free pool for later reservations."""
+        """Return ``ref``'s buffer to the free pool for later reservations.
+
+        Only the exact :class:`BufferRef` object that reserved the buffer
+        may release it: a double release raises, and so does releasing a
+        stale ref whose buffer was re-reserved by a newer value in between
+        (the old ``in self._free`` check missed that case, silently handing
+        the live value's buffer to the free pool and aliasing two values).
+        """
         if self._buffers is not None:
             raise RuntimeError("arena is finalized; no further releases")
-        if ref.buffer in self._free:
+        owner = self._owners.get(ref.buffer)
+        if owner is None:
             raise ValueError(f"buffer {ref.buffer} released twice")
+        if owner is not ref:
+            raise ValueError(
+                f"buffer {ref.buffer} was re-reserved after this ref released "
+                f"it; releasing the stale ref would alias two live values")
+        del self._owners[ref.buffer]
         self._free.append(ref.buffer)
 
     # ------------------------------------------------------------------ #

@@ -30,6 +30,7 @@ buffers; compile one plan per thread instead.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -46,7 +47,7 @@ from ..nn.tensor import (
     trace_ops,
 )
 from .arena import ArenaStats, BufferArena, BufferRef
-from .tiling import StreamedConv, band_plan
+from .tiling import MIN_BAND_ROWS, StreamedConv, band_overrun, band_plan
 
 __all__ = ["compile", "InferencePlan", "PlanStats"]
 
@@ -822,8 +823,16 @@ class PlanStats:
     folded_ops: int = 0
     elided_filters: int = 0
     dce_removed: int = 0
+    #: Largest single-band column block any streamed conv actually needs.
+    #: May exceed ``memory_budget`` when the MIN_BAND_ROWS floor wins —
+    #: that is the *achievable* peak, and a UserWarning names the layer.
+    streaming_peak_bytes: int = 0
     step_counts: Dict[str, int] = field(default_factory=dict)
     arena: ArenaStats = field(default_factory=ArenaStats)
+    #: Arena peak bytes per bound batch size; the dict is shared between a
+    #: plan and everything :meth:`InferencePlan.bind` derives from it, so
+    #: any plan in the family reports the peaks of all of them.
+    batch_peaks: Dict[int, int] = field(default_factory=dict)
 
 
 def _lower(graph: _Graph, backend: Backend, *, input_shape, batch,
@@ -897,6 +906,20 @@ def _lower(graph: _Graph, backend: Backend, *, input_shape, batch,
                         row_bytes = nb * feat * ow * x_dtype.itemsize
                         band_rows = band_plan(oh, row_bytes, memory_budget)
                         if band_rows < oh:
+                            band_bytes = band_rows * row_bytes
+                            overrun = band_overrun(band_rows, row_bytes,
+                                                   memory_budget)
+                            if overrun:
+                                warnings.warn(
+                                    f"memory_budget={memory_budget} is not "
+                                    f"achievable for conv layer "
+                                    f"'{node.layer or '<root>'}': the "
+                                    f"MIN_BAND_ROWS={MIN_BAND_ROWS} floor "
+                                    f"needs {band_bytes} bytes per band "
+                                    f"({overrun} over budget)",
+                                    UserWarning, stacklevel=2)
+                            stats.streaming_peak_bytes = max(
+                                stats.streaming_peak_bytes, band_bytes)
                             stream = StreamedConv(
                                 kernel=(kh, kw),
                                 stride=tuple(node.kwargs["stride"]),
@@ -978,7 +1001,17 @@ def _lower(graph: _Graph, backend: Backend, *, input_shape, batch,
 
         for ref in scratch:
             arena.release(ref)
-        for value in {base_of(v) for v in node.inputs}:
+        # Deduplicate in input order, not via a set: set iteration follows
+        # object ids, which would make the free-list order — and therefore
+        # tie-breaks between equal-capacity buffers — nondeterministic
+        # across processes.  Serialized plans rely on the lowering being a
+        # pure function of the graph.
+        bases: List[_Value] = []
+        for value in node.inputs:
+            base = base_of(value)
+            if base not in bases:
+                bases.append(base)
+        for value in bases:
             if value is out_base or value not in live:
                 continue
             if last_use.get(value, -1) == i:
@@ -1004,6 +1037,7 @@ def _lower(graph: _Graph, backend: Backend, *, input_shape, batch,
         if step.activation is not None:
             stats.fused_activations += 1
     stats.arena = arena.stats
+    stats.batch_peaks[int(batch)] = arena.stats.peak_bytes
 
     return InferencePlan(steps, registers, arena, backend,
                          graph.input.index, graph.output.index,
@@ -1020,9 +1054,18 @@ class InferencePlan:
 
     Call it like the model it was compiled from — ``plan(x)`` returns a
     :class:`~repro.nn.tensor.Tensor` — but the input must match the
-    compiled ``(batch, *input_shape)`` geometry and dtype exactly.  The
-    returned array is a copy, so holding it across calls is safe; the
-    plan itself is not thread-safe (it owns one buffer arena).
+    compiled ``(batch, *input_shape)`` geometry and dtype exactly (a
+    batch bound via :meth:`bind` is also accepted and dispatched to the
+    bound plan).  The returned array is a copy, so holding it across
+    calls is safe; the plan itself is not thread-safe (it owns one
+    buffer arena).
+
+    Plans compiled by :func:`compile` also carry a symbolic-batch
+    program: :meth:`to_dict`/:meth:`save` emit the versioned
+    ``repro-plan/1`` wire payload (steps, arena layout, weights digest),
+    :meth:`load`/:meth:`from_dict` rebuild a bit-identical plan from it,
+    and :meth:`bind` re-derives the buffer layout for another batch size
+    without re-tracing the model.
     """
 
     def __init__(self, steps, registers, arena, backend, input_index,
@@ -1039,6 +1082,10 @@ class InferencePlan:
         self.input_dtype = np.dtype(input_dtype)
         self.memory_budget = memory_budget
         self.stats = stats
+        # Symbolic-batch program (serialize.PlanProgram) and the family of
+        # batch-bound plans sharing it; both populated by compile()/bind().
+        self._program = None
+        self._bound: Dict[int, "InferencePlan"] = {}
 
     @property
     def steps(self) -> List[_Step]:
@@ -1063,7 +1110,14 @@ class InferencePlan:
         return data
 
     def __call__(self, x) -> Tensor:
-        data = self._check_input(x)
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        if (data.ndim == len(self.input_shape) + 1
+                and data.shape[0] != self.batch
+                and tuple(data.shape[1:]) == self.input_shape):
+            bound = self._bound.get(int(data.shape[0]))
+            if bound is not None and bound is not self:
+                return bound(data)
+        data = self._check_input(data)
         registers = self._registers
         registers[self._input_index] = data
         try:
@@ -1100,6 +1154,81 @@ class InferencePlan:
         finally:
             registers[self._input_index] = None
 
+    # ------------------------------------------------------------------ #
+    # Batch re-binding
+    # ------------------------------------------------------------------ #
+    def bind(self, batch: int) -> "InferencePlan":
+        """A plan serving ``batch``, derived from this plan's program.
+
+        Re-derives every buffer shape from the symbolic-batch layout and
+        re-runs only the lowering — the model is **not** re-traced.  The
+        bound plan shares this plan's weights, program and
+        ``stats.batch_peaks`` (which gains the new batch's arena peak),
+        and calling any plan in the family with an input whose leading
+        dimension matches a bound batch dispatches to the right one.
+        Results are cached: ``plan.bind(k)`` is the same object on every
+        call.
+        """
+        batch = int(batch)
+        if batch == self.batch:
+            self._bound.setdefault(batch, self)
+            return self
+        bound = self._bound.get(batch)
+        if bound is not None:
+            return bound
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self._program is None:
+            raise ValueError(
+                "plan has no symbolic-batch program (the traced graph could "
+                f"not be serialized); only batch={self.batch} is servable")
+        from . import serialize as _serialize
+        plan = _serialize.bind_program(self._program, batch,
+                                       backend=self._backend)
+        plan._program = self._program
+        self._bound.setdefault(self.batch, self)
+        plan._bound = self._bound
+        self._bound[batch] = plan
+        plan.stats.batch_peaks = self.stats.batch_peaks
+        self.stats.batch_peaks[batch] = plan.peak_buffer_bytes
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Serialization (repro-plan/1)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """The versioned ``repro-plan/1`` wire payload of this plan."""
+        if self._program is None:
+            raise ValueError(
+                "plan is not serializable: the traced graph contains values "
+                "the repro-plan/1 codec cannot represent")
+        from . import serialize as _serialize
+        return _serialize.plan_payload(self)
+
+    def save(self, path) -> str:
+        """Write the canonical-JSON ``repro-plan/1`` payload to ``path``."""
+        from . import serialize as _serialize
+        return _serialize.save_plan(self, path)
+
+    @classmethod
+    def from_dict(cls, payload) -> "InferencePlan":
+        """Rebuild a plan from a ``repro-plan/1`` payload.
+
+        Rejects unknown schema versions, tampered payloads (whole-payload
+        digest), weight mutations (weights digest) and payloads whose
+        stored step/arena layout disagrees with the re-lowered plan.  The
+        rebuilt plan's forwards are bit-identical to the plan that was
+        serialized.
+        """
+        from . import serialize as _serialize
+        return _serialize.plan_from_payload(payload)
+
+    @classmethod
+    def load(cls, path) -> "InferencePlan":
+        """Read a plan saved by :meth:`save` (same checks as from_dict)."""
+        from . import serialize as _serialize
+        return _serialize.load_plan(path)
+
     def __repr__(self) -> str:
         return (f"InferencePlan(steps={len(self._steps)}, "
                 f"batch={self.batch}, input_shape={self.input_shape}, "
@@ -1110,6 +1239,40 @@ class InferencePlan:
 # --------------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------------- #
+def _trace_graph(model: Module, backend: Backend, batch: int,
+                 input_shape) -> _Graph:
+    """Trace one eval-mode forward at ``batch`` into a dataflow graph."""
+    dummy = Tensor(backend.zeros((batch,) + input_shape))
+    tracer = _Tracer()
+    hook = add_op_hook(_noop_hook)
+    try:
+        with no_grad(), trace_ops(tracer):
+            out = model(dummy)
+    finally:
+        remove_op_hook(hook)
+    if not tracer.records:
+        raise ValueError("model executed no traceable ops")
+    return _build_graph(tracer.records, dummy.data, out.data)
+
+
+def _optimize_graph(graph: _Graph, backend: Backend, *, fold_bn: bool,
+                    elide_dead: bool,
+                    stats: Optional[PlanStats] = None) -> _Graph:
+    """Run the standard pass pipeline in place (deterministic per graph)."""
+    frozen = _freeze_consts(graph)
+    folded = _fold_affine_chains(graph) if fold_bn else 0
+    elided = _elide_dead_filters(graph) if elide_dead else 0
+    if backend.supports_inplace:
+        _fuse_activations(graph)
+    removed = _eliminate_dead_code(graph)
+    if stats is not None:
+        stats.frozen_consts = frozen
+        stats.folded_ops = folded
+        stats.elided_filters = elided
+        stats.dce_removed = removed
+    return graph
+
+
 def compile(model: Module, input_shape, *, batch: int = 1,
             memory_budget: Optional[int] = None, fold_bn: bool = False,
             elide_dead: bool = True,
@@ -1151,31 +1314,43 @@ def compile(model: Module, input_shape, *, batch: int = 1,
     if backend is None:
         backend = current_backend()
     input_shape = tuple(int(s) for s in input_shape)
+    batch = int(batch)
     stats = PlanStats()
     with use_backend(backend):
-        dummy = Tensor(backend.zeros((int(batch),) + input_shape))
         was_training = bool(getattr(model, "training", False))
         model.eval()
-        tracer = _Tracer()
-        hook = add_op_hook(_noop_hook)
         try:
-            with no_grad(), trace_ops(tracer):
-                out = model(dummy)
+            graph = _trace_graph(model, backend, batch, input_shape)
+            # Second trace one batch up: together the pair gives every
+            # shape dimension an affine form in the batch size, which is
+            # what makes the plan batch-polymorphic and serializable
+            # (repro-plan/1).  Any failure just loses those features.
+            try:
+                graph_next = _trace_graph(model, backend, batch + 1,
+                                          input_shape)
+            except Exception:
+                graph_next = None
         finally:
-            remove_op_hook(hook)
             if was_training:
                 model.train()
-        if not tracer.records:
-            raise ValueError("model executed no traceable ops")
-        graph = _build_graph(tracer.records, dummy.data, out.data)
-        stats.frozen_consts = _freeze_consts(graph)
-        if fold_bn:
-            stats.folded_ops = _fold_affine_chains(graph)
-        if elide_dead:
-            stats.elided_filters = _elide_dead_filters(graph)
-        if backend.supports_inplace:
-            _fuse_activations(graph)
-        stats.dce_removed = _eliminate_dead_code(graph)
-        return _lower(graph, backend, input_shape=input_shape,
-                      batch=int(batch), memory_budget=memory_budget,
+        _optimize_graph(graph, backend, fold_bn=fold_bn,
+                        elide_dead=elide_dead, stats=stats)
+        if graph_next is not None:
+            try:
+                _optimize_graph(graph_next, backend, fold_bn=fold_bn,
+                                elide_dead=elide_dead)
+            except Exception:
+                graph_next = None
+        from . import serialize as _serialize
+        try:
+            program = _serialize.program_from_graphs(
+                graph, graph_next, batch=batch, batch_next=batch + 1,
+                backend=backend, input_shape=input_shape,
+                memory_budget=memory_budget)
+        except Exception:
+            program = None
+        plan = _lower(graph, backend, input_shape=input_shape,
+                      batch=batch, memory_budget=memory_budget,
                       stats=stats)
+        plan._program = program
+        return plan

@@ -49,6 +49,23 @@ def band_plan(out_h: int, cols_row_bytes: int,
     return max(MIN_BAND_ROWS, min(out_h, int(rows)))
 
 
+def band_overrun(band_rows: int, cols_row_bytes: int,
+                 memory_budget: Optional[int]) -> int:
+    """Bytes by which one ``band_rows``-row band exceeds ``memory_budget``.
+
+    Returns 0 when the band fits (or no budget is set).  A positive value
+    means the :data:`MIN_BAND_ROWS` floor won over the budget: the caller
+    asked for fewer bytes than even the narrowest permissible band needs,
+    so the achievable peak is ``band_rows * cols_row_bytes``, not the
+    budget.  The plan compiler surfaces this as a ``UserWarning`` plus
+    ``PlanStats.streaming_peak_bytes`` instead of pretending the budget
+    held.
+    """
+    if memory_budget is None:
+        return 0
+    return max(0, band_rows * cols_row_bytes - int(memory_budget))
+
+
 def iter_bands(out_h: int, band_rows: int) -> Iterator[Tuple[int, int]]:
     """Yield ``(row_start, row_stop)`` output-row bands covering ``out_h``."""
     for start in range(0, out_h, band_rows):

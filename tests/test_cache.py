@@ -205,6 +205,52 @@ class TestReportCacheStores:
         store.put(key, report, warm_source="f" * 64)
         assert store.entry(key)["warm_source"] == "f" * 64
 
+    def test_gc_is_lru_not_write_order(self, store, report_and_key):
+        """A get() hit must protect an entry from eviction: recency is the
+        persisted seq, not write order (and not filesystem mtime)."""
+        report, key = report_and_key
+        store.put(key, report)
+        other = api.CacheKey(method=key.method, spec="0" * 64,
+                             model=key.model, data=key.data)
+        store.put(other, report)
+        assert store.get(key) is not None   # touch the older entry
+        assert store.gc(max_entries=1) == 1
+        assert store.get(other) is None     # untouched entry was evicted
+        assert store.get(key) is not None   # touched entry survived
+
+    def test_seq_persists_and_grows(self, store, report_and_key):
+        report, key = report_and_key
+        store.put(key, report)
+        assert store.entry(key)["seq"] == 0
+        other = api.CacheKey(method=key.method, spec="0" * 64,
+                             model=key.model, data=key.data)
+        store.put(other, report)
+        assert store.entry(other)["seq"] == 1
+        store.get(key)                      # hit refreshes the seq
+        assert store.entry(key)["seq"] == 2
+
+    def test_gc_same_mtime_writes_evict_in_write_order(self, tmp_path,
+                                                       report_and_key):
+        """Coarse (1 s) mtimes must not decide eviction: two entries
+        written within the same second still evict oldest-write first,
+        whatever their digest order."""
+        store = api.FileReportCache(tmp_path / "cache")
+        report, key = report_and_key
+        other = api.CacheKey(method=key.method, spec="0" * 64,
+                             model=key.model, data=key.data)
+        # Write the alphabetically-larger combined digest FIRST, so a
+        # same-mtime digest-alphabetical order would evict the wrong one.
+        first, second = sorted((key, other),
+                               key=lambda k: k.combined, reverse=True)
+        store.put(first, report)
+        store.put(second, report)
+        stamp = os.path.getmtime(store._entry_path(first.combined))
+        for entry_key in (first, second):
+            os.utime(store._entry_path(entry_key.combined), (stamp, stamp))
+        assert store.gc(max_entries=1) == 1
+        assert store.entry(first) is None    # oldest write evicted
+        assert store.entry(second) is not None
+
 
 class TestNearestCheckpoint:
     def _put(self, store, key, report, ratio):
@@ -243,6 +289,37 @@ class TestNearestCheckpoint:
                                     model=key.model, data=key.data)
         assert store.nearest_checkpoint(other_method, query.to_dict()) is None
 
+    def test_distance_ties_break_on_combined_digest(self, report_and_key):
+        """Equidistant candidates must resolve deterministically — by the
+        combined digest, not by store iteration (write) order."""
+        report, key = report_and_key
+
+        def put_labelled(store, label):
+            spec = cost_spec(label=label)
+            entry_key = api.CacheKey(method=key.method, spec=spec.digest(),
+                                     model=key.model, data=key.data)
+            report.spec = spec
+            store.put(entry_key, report,
+                      checkpoint=report.compressed.model.state_dict())
+            return entry_key
+
+        probe = api.MemoryReportCache()
+        a = put_labelled(probe, "tie-a")
+        b = put_labelled(probe, "tie-b")
+        query = cost_spec(label="tie-query")
+        query_key = api.CacheKey(method=key.method, spec=query.digest(),
+                                 model=key.model, data=key.data)
+        winner = min(a.combined, b.combined)
+        loser_first = max((a, b), key=lambda k: k.combined)
+        # Write the larger digest first: iteration-order tie-breaking
+        # would pick it; the digest order must pick the smaller one.
+        for store in (api.MemoryReportCache(),):
+            put_labelled(store, "tie-a" if loser_first is a else "tie-b")
+            put_labelled(store, "tie-b" if loser_first is a else "tie-a")
+            warm = store.nearest_checkpoint(query_key, query.to_dict())
+            assert warm is not None
+            assert warm.source == winner
+
     def test_entry_without_checkpoint_never_seeds(self, report_and_key):
         store = api.MemoryReportCache()
         report, key = report_and_key
@@ -251,6 +328,56 @@ class TestNearestCheckpoint:
         query_key = api.CacheKey(method=key.method, spec=query.digest(),
                                  model=key.model, data=key.data)
         assert store.nearest_checkpoint(query_key, query.to_dict()) is None
+
+
+# --------------------------------------------------------------------------- #
+# Plan artifacts: store / serve serialized repro-plan/1 payloads
+# --------------------------------------------------------------------------- #
+def _plan_artifact():
+    body = {"schema": "repro-plan/1", "values": [], "nodes": [],
+            "batch": 2}
+    body["digest"] = api.payload_digest(body)
+    return body
+
+
+class TestPlanArtifacts:
+    def test_put_get_round_trip(self, store):
+        payload = _plan_artifact()
+        assert store.get_plan("a" * 64) is None        # miss first
+        store.put_plan("a" * 64, payload)
+        assert store.get_plan("a" * 64) == payload
+        stats = store.stats()
+        assert stats.plans == 1
+        assert stats.hits >= 1 and stats.writes >= 1
+
+    def test_damaged_artifact_is_a_warned_miss(self, store):
+        payload = _plan_artifact()
+        payload["digest"] = "0" * 64
+        store.put_plan("a" * 64, payload)
+        with pytest.warns(api.CacheIntegrityWarning, match="digest"):
+            assert store.get_plan("a" * 64) is None
+
+    def test_non_plan_schema_is_a_warned_miss(self, store):
+        store.put_plan("a" * 64, {"schema": "repro-job/1"})
+        with pytest.warns(api.CacheIntegrityWarning, match="schema"):
+            assert store.get_plan("a" * 64) is None
+
+    def test_gc_clear_removes_plans(self, store):
+        store.put_plan("a" * 64, _plan_artifact())
+        store.gc(clear=True)
+        assert store.stats().plans == 0
+        assert store.get_plan("a" * 64) is None
+
+    def test_gc_max_entries_leaves_plans_alone(self, store, report_and_key):
+        report, key = report_and_key
+        store.put(key, report)
+        store.put_plan("a" * 64, _plan_artifact())
+        assert store.gc(max_entries=0) == 1
+        assert store.get_plan("a" * 64) is not None
+
+    def test_put_plan_rejects_non_mappings(self, store):
+        with pytest.raises(TypeError, match="mapping"):
+            store.put_plan("a" * 64, "not a mapping")
 
 
 # --------------------------------------------------------------------------- #
@@ -537,6 +664,7 @@ class TestCacheCLI:
         assert payload["root"] == populated_root
         assert payload["entries"] == 2
         assert payload["checkpoints"] == 1
+        assert payload["plans"] == 0
         assert payload["total_bytes"] > 0
 
     def test_gc_max_entries_and_clear(self, populated_root):

@@ -17,6 +17,8 @@ from repro.core.config import ALFConfig
 from repro.core.deploy import CompressedConv2d, compress_model
 from repro.deploy import (
     MIN_BAND_ROWS,
+    BufferArena,
+    band_overrun,
     band_plan,
     compile,
     iter_bands,
@@ -122,6 +124,25 @@ def test_plan_output_is_a_copy():
     assert out.data.tobytes() == snapshot.tobytes()
 
 
+def test_arena_rejects_stale_ref_release():
+    """reserve→release→reserve→release must not alias two live values.
+
+    The old check only caught a ref already sitting in the free list; a
+    stale ref whose buffer had been recycled to a newer value slipped
+    through and pushed the *live* value's buffer back into the pool.
+    """
+    arena = BufferArena()
+    first = arena.reserve((4,), np.float64)
+    arena.release(first)
+    second = arena.reserve((2,), np.float64)
+    assert second.buffer == first.buffer  # best-fit recycled the slot
+    with pytest.raises(ValueError, match="re-reserved"):
+        arena.release(first)  # stale handle: its buffer now backs `second`
+    arena.release(second)  # the true owner still releases fine
+    with pytest.raises(ValueError, match="released twice"):
+        arena.release(second)
+
+
 def test_arena_reuse_beats_naive_allocation():
     plan = compile(build_model("plain20", rng=np.random.default_rng(0)),
                    (3, 32, 32), batch=2)
@@ -155,6 +176,22 @@ def test_band_plan_respects_budget_and_floor():
     bands = list(iter_bands(10, 4))
     assert bands[0] == (0, 4) and bands[-1][1] == 10
     assert sum(hi - lo for lo, hi in bands) == 10
+
+
+def test_unachievable_budget_warns_and_reports_achievable_peak():
+    """When the MIN_BAND_ROWS floor wins over memory_budget, the plan must
+    say so (UserWarning naming the layer and the floor) and record the
+    peak it actually achieves, instead of silently exceeding the budget."""
+    assert band_overrun(4, 10_000, None) == 0
+    assert band_overrun(4, 10_000, 50_000) == 0
+    assert band_overrun(MIN_BAND_ROWS, 10_000, 1) == MIN_BAND_ROWS * 10_000 - 1
+    model = build_model("resnet20", rng=np.random.default_rng(0))
+    with pytest.warns(UserWarning, match="MIN_BAND_ROWS") as captured:
+        plan = compile(model, (3, 32, 32), batch=4, memory_budget=1)
+    assert any("not achievable for conv layer" in str(w.message)
+               for w in captured)
+    assert plan.stats.streamed_convs > 0
+    assert plan.stats.streaming_peak_bytes > 1  # the honest peak, not the ask
 
 
 # --------------------------------------------------------------------------- #

@@ -7,16 +7,24 @@ foundation the result cache stands on — a method whose payload drifts
 through one JSON round trip would replay a different report than it
 stored — so the suite is parameterized over ``api.available_methods()``
 and picks up new registrations automatically.
+
+The same fixed-point discipline applies to the ``repro-plan/1`` wire
+form: serialize → load → serialize is byte-equal, and the loaded plan's
+forwards are bit-identical in both working precisions.
 """
 
 from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 import repro.api as api
 from repro.api.spec import config_from_dict, config_to_dict
+from repro.deploy import InferencePlan, compile as compile_plan
+from repro.models import build_model
+from repro.nn.backend import use_backend
 
 INPUT_SHAPE = (1, 16, 16)  # lenet's native geometry
 
@@ -141,3 +149,36 @@ class TestReportRoundTrip:
         store.put(key, report)
         replay = store.get(key)
         assert replay.to_dict() == report.to_dict()
+
+
+@pytest.mark.parametrize("backend", ["numpy32", "numpy64"])
+class TestPlanRoundTrip:
+    def _plan(self, backend):
+        model = build_model("lenet", rng=np.random.default_rng(5))
+        with use_backend(backend):
+            return model, compile_plan(model, INPUT_SHAPE, batch=2)
+
+    def test_plan_payload_is_a_fixed_point(self, backend):
+        _, plan = self._plan(backend)
+        payload = plan.to_dict()
+        loaded = InferencePlan.from_dict(json_round_trip(payload))
+        assert api.canonical_json(loaded.to_dict()) == \
+            api.canonical_json(payload)
+        # One more cycle: the reloaded payload is already the fixed point.
+        again = InferencePlan.from_dict(loaded.to_dict())
+        assert api.canonical_json(again.to_dict()) == \
+            api.canonical_json(payload)
+
+    def test_save_load_save_is_byte_equal(self, backend, tmp_path):
+        _, plan = self._plan(backend)
+        first, second = tmp_path / "first.json", tmp_path / "second.json"
+        plan.save(first)
+        InferencePlan.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_loaded_plan_forward_is_bit_identical(self, backend):
+        _, plan = self._plan(backend)
+        loaded = InferencePlan.from_dict(json_round_trip(plan.to_dict()))
+        x = np.random.default_rng(11).standard_normal(
+            (2,) + INPUT_SHAPE).astype(plan.input_dtype)
+        assert loaded(x).data.tobytes() == plan(x).data.tobytes()
